@@ -1,0 +1,52 @@
+//! Criterion benchmark sweeping every index family on one shared archive —
+//! the "Table 2 in micro-benchmark form" comparison at a fixed K.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rambo_bench::build_suite;
+use rambo_workloads::{ArchiveParams, PlantedQueries, SyntheticArchive};
+use std::time::Duration;
+
+fn bench_suite_queries(c: &mut Criterion) {
+    let k = 2000;
+    let mut p = ArchiveParams::tiny(k, 11);
+    p.mean_terms = 400;
+    p.std_terms = 150;
+    let mut archive = SyntheticArchive::generate(&p);
+    let planted = PlantedQueries::generate(300, k, 20.0, 0xC0FFEE);
+    planted.plant_into(&mut archive.docs);
+    let queries: Vec<u64> = planted.queries.iter().map(|(t, _)| *t).collect();
+    let suite = build_suite(&archive.docs, 400, false, 11, true);
+
+    let mut g = c.benchmark_group("suite_query_K2000");
+    g.measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    for built in &suite {
+        let idx = built.index.as_ref();
+        let mut i = 0usize;
+        g.bench_function(idx.label(), |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(idx.query_term(queries[i]))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("suite_sequence_query_K2000");
+    g.measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    // A 8-term conjunction from one document: the §3.3.1 workload.
+    let seq: Vec<u64> = archive.docs[77].1[..8].to_vec();
+    for built in &suite {
+        let idx = built.index.as_ref();
+        g.bench_function(idx.label(), |b| {
+            b.iter(|| black_box(idx.query_terms(black_box(&seq))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_suite_queries);
+criterion_main!(benches);

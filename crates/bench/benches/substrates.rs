@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the substrate crates: hashing, bit
+//! vectors, Bloom filters, k-mer extraction. These are the kernels every
+//! macro number in the paper tables decomposes into.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rambo_bitvec::{BitVec, RrrVec};
+use rambo_bloom::{BloomFilter, BloomParams};
+use rambo_hash::{mix64, murmur3_x64_128, HashPair};
+use rambo_kmer::kmers_of;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20);
+    let kmer31 = b"GATTACAGATTACAGATTACAGATTACAGAT";
+    g.throughput(Throughput::Bytes(31));
+    g.bench_function("murmur3_x64_128/31B", |b| {
+        b.iter(|| murmur3_x64_128(black_box(kmer31), 7))
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("mix64", |b| b.iter(|| mix64(black_box(0xDEAD_BEEF))));
+    g.bench_function("hashpair_of_u64", |b| {
+        b.iter(|| HashPair::of_u64(black_box(0xDEAD_BEEF), 7))
+    });
+    g.finish();
+}
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitvec");
+    g.measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20);
+    let n = 1 << 16;
+    let a = BitVec::from_ones(n, (0..n).step_by(3));
+    let b_vec = BitVec::from_ones(n, (0..n).step_by(5));
+    g.throughput(Throughput::Bytes((n / 8) as u64));
+    g.bench_function("and_assign/64kbit", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| x.and_assign(black_box(&b_vec)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("count_and/64kbit", |b| {
+        b.iter(|| black_box(&a).count_and(black_box(&b_vec)))
+    });
+    let rrr = RrrVec::from_bitvec(&a);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("rrr_get", |b| b.iter(|| rrr.get(black_box(31_337))));
+    g.bench_function("rrr_rank1", |b| b.iter(|| rrr.rank1(black_box(31_337))));
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20);
+    let params = BloomParams::for_capacity(100_000, 0.01, 7);
+    let mut filter = BloomFilter::new(params);
+    for i in 0..100_000u64 {
+        filter.insert_u64(i);
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert_u64", |b| {
+        let mut f = BloomFilter::new(params);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            f.insert_u64(black_box(i));
+        })
+    });
+    g.bench_function("contains_u64/hit", |b| {
+        b.iter(|| filter.contains_u64(black_box(55_555)))
+    });
+    g.bench_function("contains_u64/miss", |b| {
+        b.iter(|| filter.contains_u64(black_box(u64::MAX - 5)))
+    });
+    g.finish();
+}
+
+fn bench_kmer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmer");
+    g.measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(20);
+    let mut sim = rambo_kmer::sim::GenomeSimulator::new(3);
+    let genome = sim.random_genome(100_000);
+    g.throughput(Throughput::Bytes(genome.len() as u64));
+    g.bench_function("extract_31mers/100kb", |b| {
+        b.iter(|| kmers_of(black_box(&genome), 31, false).count())
+    });
+    g.bench_function("extract_canonical_31mers/100kb", |b| {
+        b.iter(|| kmers_of(black_box(&genome), 31, true).count())
+    });
+    g.finish();
+}
+
+fn all(c: &mut Criterion) {
+    let c = configure(c);
+    bench_hashing(c);
+    bench_bitvec(c);
+    bench_bloom(c);
+    bench_kmer(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **Figure 4 reproduction** — false-positive rate as a function of k-mer
+//! multiplicity `V` and index memory (fold level), with Lemma 4.1's
+//! prediction printed alongside the measurement.
+//!
+//! Paper shape: FPR is very low for rare terms (small `V`) and rises with
+//! both `V` and folding; "for a full sequence search, the returned result
+//! depends solely on the rarest k-mer", hence accurate sequence queries.
+//!
+//! ```text
+//! cargo run -p rambo-bench --release --bin fig4_fpr -- \
+//!     [--docs 2000] [--terms 800] [--buckets 256] [--reps 3] \
+//!     [--queries 400] [--vs 1,2,4,8,16,32,64] [--folds 3] [--seed 7]
+//! ```
+
+use rambo_bench::Args;
+use rambo_core::{theory, Rambo, RamboParams};
+use rambo_workloads::timing::human_bytes;
+use rambo_workloads::{ArchiveParams, PlantedQueries, SyntheticArchive, Table};
+
+fn main() {
+    let args = Args::parse();
+    let k = args.get_usize("docs", 2000);
+    let mean_terms = args.get_usize("terms", 800);
+    let buckets = args.get_u64("buckets", 256);
+    let reps = args.get_usize("reps", 3);
+    let n_queries = args.get_usize("queries", 400);
+    let vs = args.get_usize_list("vs", &[1, 2, 4, 8, 16, 32, 64]);
+    let folds = args.get_usize("folds", 3);
+    let seed = args.get_u64("seed", 7);
+
+    println!("RAMBO reproduction — Figure 4 (FPR vs multiplicity V and memory)");
+    println!("base geometry: K = {k}, B = {buckets}, R = {reps}\n");
+
+    // Archive with planted fixed-V query sets, one per V.
+    let mut p = ArchiveParams::ena_like(k, 1.0 / 2000.0, seed);
+    p.mean_terms = mean_terms;
+    p.std_terms = mean_terms / 2;
+    let mut archive = SyntheticArchive::generate(&p);
+    let planted_sets: Vec<(usize, PlantedQueries)> = vs
+        .iter()
+        .map(|&v| {
+            (
+                v,
+                PlantedQueries::generate_fixed_v(n_queries, k, v.min(k), seed ^ (v as u64)),
+            )
+        })
+        .collect();
+    for (_, q) in &planted_sets {
+        q.plant_into(&mut archive.docs);
+    }
+
+    // Build once, then derive folded versions (the paper's one-time
+    // processing workflow).
+    let per_bucket =
+        ((k as f64 / buckets as f64) * mean_terms as f64 * 1.2).ceil().max(64.0) as usize;
+    let params = RamboParams::flat(
+        buckets,
+        reps,
+        rambo_bloom::params::optimal_m(per_bucket, 0.01),
+        2,
+        seed,
+    );
+    let mut base = Rambo::new(params).expect("valid params");
+    for (name, terms) in &archive.docs {
+        base.insert_document(name, terms.iter().copied())
+            .expect("unique names");
+    }
+
+    let mut headers: Vec<String> = vec!["V".into()];
+    let mut indexes = vec![base];
+    for f in 0..folds {
+        let next = indexes[f].folded(1).expect("fold available");
+        indexes.push(next);
+    }
+    for idx in &indexes {
+        headers.push(format!(
+            "meas@{}",
+            human_bytes(idx.size_bytes())
+        ));
+        headers.push("lemma4.1".into());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 4: per-doc FPR, measured vs Lemma 4.1, per fold level",
+        &header_refs,
+    );
+
+    for (v, queries) in &planted_sets {
+        let mut row = vec![v.to_string()];
+        for idx in &indexes {
+            let m = queries.measure(k, |t| idx.query_u64(t));
+            let p_bfu = idx.estimated_bfu_fpr();
+            let predicted = theory::per_doc_fpr(
+                p_bfu,
+                idx.buckets(),
+                *v as u32,
+                idx.repetitions(),
+            );
+            row.push(format!("{:.5}", m.per_doc_rate()));
+            row.push(format!("{predicted:.5}"));
+        }
+        table.row(&row);
+    }
+    println!("{table}");
+    println!("shape checks vs paper (Figure 4):");
+    println!("  * each column pair: measured FPR tracks the Lemma 4.1 curve;");
+    println!("  * FPR grows with V (bucket collisions with true documents);");
+    println!("  * every fold (smaller memory) shifts the whole curve up super-linearly;");
+    println!("  * at V = 1 the rate is tiny — rare/unknown sequences stay accurate.");
+}

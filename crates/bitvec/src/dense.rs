@@ -1,0 +1,546 @@
+//! Dense bit vector on `u64` words.
+//!
+//! This is the workhorse of the whole repository: every BFU, every bit-sliced
+//! row in COBS, every SBT node, and every per-repetition document bitmap in
+//! Algorithm 2 is one of these. Union and intersection — the two operations
+//! the RAMBO query loop performs per repetition — are whole-word `|=` / `&=`
+//! passes, which is exactly the "fast bitwise operations" implementation the
+//! paper describes in §3.3 and §5.1.
+
+use crate::error::DecodeError;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+const MAGIC: &[u8; 4] = b"RBV1";
+
+/// A fixed-length dense bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl BitVec {
+    /// An all-zero vector of `len` bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; word_count(len)],
+        }
+    }
+
+    /// An all-one vector of `len` bits (trailing bits in the last word are
+    /// kept zero so `count_ones` stays exact).
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self {
+            len,
+            words: vec![u64::MAX; word_count(len)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Build from an iterator of set-bit positions.
+    ///
+    /// # Panics
+    /// Panics if any position is `>= len`.
+    #[must_use]
+    pub fn from_ones(len: usize, ones: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = Self::zeros(len);
+        for i in ones {
+            v.set(i);
+        }
+        v
+    }
+
+    /// Zero any bits beyond `len` in the final word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len() == 0`.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Set bit `i` to one.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clear bit `i` to zero.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Write `value` into bit `i`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Zero every bit, keeping the allocation (the query scratch buffers in
+    /// RAMBO reuse one vector per repetition).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set every bit.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits (`count_ones / len`); 0 for empty vectors.
+    ///
+    /// For a Bloom filter this is the *fill ratio* that drives the
+    /// false-positive estimate `(fill)^η`.
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// True if at least one bit is set.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// True if no bit is set.
+    #[must_use]
+    pub fn none(&self) -> bool {
+        !self.any()
+    }
+
+    /// In-place union (`self |= other`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "or_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection (`self &= other`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "and_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place symmetric difference (`self ^= other`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "xor_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place difference (`self &= !other`): clears every bit set in
+    /// `other`. Used by the split-filter SBT baselines ("rem = union − sim").
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and_not_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "and_not_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place intersection with a raw word slice (`self &= words`), used
+    /// by row-major bit matrices whose rows alias this vector's geometry.
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than this vector's word count.
+    pub fn and_words(&mut self, words: &[u64]) {
+        assert!(
+            words.len() >= self.words.len(),
+            "and_words slice shorter than vector"
+        );
+        for (a, b) in self.words.iter_mut().zip(words) {
+            *a &= b;
+        }
+    }
+
+    /// Overwrite `self` with `other`, reusing the existing allocation.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "copy_from length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `popcount(self & other)` without materializing the intersection.
+    /// This is the similarity kernel used by SBT greedy insertion.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn count_and(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "count_and length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `popcount(self | other)` without materializing the union.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn count_or(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "count_or length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.len, other.len, "is_subset_of length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The underlying words (little-endian bit order within each word).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap bytes consumed by the raw bits (excludes the struct header).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Append the binary encoding (`RBV1` magic, bit length, words).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_slice(MAGIC);
+        out.put_u64_le(self.len as u64);
+        for &w in &self.words {
+            out.put_u64_le(w);
+        }
+    }
+
+    /// Serialize to a standalone byte buffer.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.words.len() * 8);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode from a buffer previously filled by [`BitVec::encode_into`],
+    /// advancing `buf` past the consumed bytes.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on bad magic, truncation, or dirty tail bits.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        if buf.remaining() < 12 {
+            return Err(DecodeError::new("bitvec header truncated"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::new("bad bitvec magic"));
+        }
+        let len = usize::try_from(buf.get_u64_le())
+            .map_err(|_| DecodeError::new("bitvec length exceeds address space"))?;
+        let n_words = word_count(len);
+        if buf.remaining() < n_words * 8 {
+            return Err(DecodeError::new("bitvec payload truncated"));
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(buf.get_u64_le());
+        }
+        let v = Self { len, words };
+        let mut check = v.clone();
+        check.mask_tail();
+        if check != v {
+            return Err(DecodeError::new("bitvec tail bits beyond len are set"));
+        }
+        Ok(v)
+    }
+
+    /// Decode from an exact buffer (must consume all bytes).
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on any format violation or trailing garbage.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        let v = Self::decode_from(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(DecodeError::new("trailing bytes after bitvec"));
+        }
+        Ok(v)
+    }
+}
+
+/// Iterator over set-bit indices; see [`BitVec::iter_ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_counts() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.none());
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.any());
+        assert!((o.fill_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = BitVec::zeros(200);
+        for i in (0..200).step_by(7) {
+            v.set(i);
+        }
+        for i in 0..200 {
+            assert_eq!(v.get(i), i % 7 == 0, "bit {i}");
+        }
+        v.clear(0);
+        assert!(!v.get(0));
+        v.assign(0, true);
+        assert!(v.get(0));
+        v.assign(0, false);
+        assert!(!v.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(64);
+        let _ = v.get(64);
+    }
+
+    #[test]
+    fn boolean_ops_match_naive() {
+        let a = BitVec::from_ones(100, (0..100).filter(|i| i % 3 == 0));
+        let b = BitVec::from_ones(100, (0..100).filter(|i| i % 5 == 0));
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        let mut xor = a.clone();
+        xor.xor_assign(&b);
+        let mut diff = a.clone();
+        diff.and_not_assign(&b);
+
+        for i in 0..100 {
+            let (x, y) = (i % 3 == 0, i % 5 == 0);
+            assert_eq!(or.get(i), x || y);
+            assert_eq!(and.get(i), x && y);
+            assert_eq!(xor.get(i), x ^ y);
+            assert_eq!(diff.get(i), x && !y);
+        }
+        assert_eq!(a.count_and(&b), and.count_ones());
+        assert_eq!(a.count_or(&b), or.count_ones());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = BitVec::from_ones(64, [1, 5, 9]);
+        let big = BitVec::from_ones(64, [1, 3, 5, 9, 11]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn ones_iterator_yields_sorted_positions() {
+        let positions = vec![0, 1, 63, 64, 65, 127, 128, 199];
+        let v = BitVec::from_ones(200, positions.clone());
+        let got: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(got, positions);
+    }
+
+    #[test]
+    fn ones_iterator_empty_and_full() {
+        assert_eq!(BitVec::zeros(70).iter_ones().count(), 0);
+        let full: Vec<usize> = BitVec::ones(70).iter_ones().collect();
+        assert_eq!(full, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tail_masking_keeps_counts_exact() {
+        let mut v = BitVec::ones(65);
+        assert_eq!(v.count_ones(), 65);
+        v.set_all();
+        assert_eq!(v.count_ones(), 65);
+    }
+
+    #[test]
+    fn clear_all_keeps_len() {
+        let mut v = BitVec::ones(100);
+        v.clear_all();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let v = BitVec::from_ones(1000, (0..1000).filter(|i| i % 13 == 0));
+        let bytes = v.to_bytes();
+        let back = BitVec::from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn serialization_rejects_corruption() {
+        let v = BitVec::from_ones(100, [5, 50]);
+        let mut bytes = v.to_bytes();
+        bytes[0] = b'X';
+        assert!(BitVec::from_bytes(&bytes).is_err());
+
+        let bytes = v.to_bytes();
+        assert!(BitVec::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+
+        let mut bytes = v.to_bytes();
+        bytes.push(0);
+        assert!(BitVec::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn serialization_rejects_dirty_tail() {
+        let v = BitVec::zeros(10);
+        let mut bytes = v.to_bytes();
+        // Set a bit beyond len=10 inside the stored word.
+        let last = bytes.len() - 1;
+        bytes[last] = 0x80;
+        assert!(BitVec::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_vector_roundtrip() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        let back = BitVec::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(v.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let a = BitVec::from_ones(128, [0, 64, 127]);
+        let mut b = BitVec::zeros(128);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+}

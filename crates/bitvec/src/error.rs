@@ -1,0 +1,45 @@
+//! Decoding errors for the binary serialization formats in this crate.
+
+use std::fmt;
+
+/// Error returned when deserializing a bit structure from bytes fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    message: String,
+}
+
+impl DecodeError {
+    /// Create an error with a human-readable cause.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The cause description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = DecodeError::new("bad magic");
+        assert!(e.to_string().contains("bad magic"));
+        assert_eq!(e.message(), "bad magic");
+    }
+}

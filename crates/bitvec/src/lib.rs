@@ -1,0 +1,34 @@
+//! Bit-vector substrate for the RAMBO reproduction.
+//!
+//! Three structures, each motivated by a specific need of the paper:
+//!
+//! * [`BitVec`] — the dense, word-addressed bit array underlying every Bloom
+//!   filter and every document bitmap. The paper's §5.1 "Bitmap arrays"
+//!   discussion (union = word-OR, intersection = word-AND, efficient once
+//!   >15% of bits are set) is implemented here as whole-word operations.
+//! * [`RankBitVec`] — a rank/select index over a dense vector (512-bit
+//!   superblocks + word scans). Used wherever we need "how many set bits
+//!   before position i" style queries, e.g. converting result bitmaps to
+//!   ranked document lists.
+//! * [`RrrVec`] — an RRR-style compressed bitvector (Raman–Raman–Rao [25]),
+//!   cited by the paper as the compression used by HowDeSBT and SSBT for
+//!   their tree nodes (Table 3 caption). Blocks of 15 bits are stored as a
+//!   (class, offset) pair under enumerative coding; supports `access` and
+//!   `rank1` without decompression.
+//!
+//! All structures serialize to a compact binary form (magic + version header)
+//! and deserialize with validation, since the paper's fold-over workflow
+//! writes indexes to disk at multiple sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod error;
+mod rank;
+mod rrr;
+
+pub use dense::BitVec;
+pub use error::DecodeError;
+pub use rank::RankBitVec;
+pub use rrr::RrrVec;

@@ -1,0 +1,131 @@
+//! Property-based tests for the bit-vector substrate.
+//!
+//! The RAMBO query engine's correctness rests on these algebraic identities
+//! (union distributing over partitions, intersection across repetitions), so
+//! they are checked against a naive `Vec<bool>` model under random inputs.
+
+use proptest::prelude::*;
+use rambo_bitvec::{BitVec, RankBitVec, RrrVec};
+
+/// A bit length paired with set-bit positions below it.
+type LenAndOnes = (usize, Vec<usize>);
+
+/// Strategy: a bit length and a set of positions below it.
+fn bits_strategy(max_len: usize) -> impl Strategy<Value = LenAndOnes> {
+    (1..max_len).prop_flat_map(|len| {
+        (
+            Just(len),
+            proptest::collection::vec(0..len, 0..(len.min(256))),
+        )
+    })
+}
+
+fn model(len: usize, ones: &[usize]) -> Vec<bool> {
+    let mut v = vec![false; len];
+    for &i in ones {
+        v[i] = true;
+    }
+    v
+}
+
+proptest! {
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn get_matches_model((len, ones) in bits_strategy(2000)) {
+        let bv = BitVec::from_ones(len, ones.iter().copied());
+        let m = model(len, &ones);
+        for i in 0..len {
+            prop_assert_eq!(bv.get(i), m[i]);
+        }
+        prop_assert_eq!(bv.count_ones(), m.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn or_and_xor_match_model(
+        (len, a_ones) in bits_strategy(1500),
+        b_seed in proptest::collection::vec(0usize..1500, 0..128),
+    ) {
+        let b_ones: Vec<usize> = b_seed.into_iter().map(|x| x % len).collect();
+        let a = BitVec::from_ones(len, a_ones.iter().copied());
+        let b = BitVec::from_ones(len, b_ones.iter().copied());
+        let (ma, mb) = (model(len, &a_ones), model(len, &b_ones));
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        let mut xor = a.clone();
+        xor.xor_assign(&b);
+
+        for i in 0..len {
+            prop_assert_eq!(or.get(i), ma[i] | mb[i]);
+            prop_assert_eq!(and.get(i), ma[i] & mb[i]);
+            prop_assert_eq!(xor.get(i), ma[i] ^ mb[i]);
+        }
+    }
+
+    #[test]
+    fn union_is_superset_intersection_is_subset(
+        (len, a_ones) in bits_strategy(1000),
+        b_seed in proptest::collection::vec(0usize..1000, 0..128),
+    ) {
+        let b_ones: Vec<usize> = b_seed.into_iter().map(|x| x % len).collect();
+        let a = BitVec::from_ones(len, a_ones);
+        let b = BitVec::from_ones(len, b_ones);
+        let mut or = a.clone();
+        or.or_assign(&b);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        prop_assert!(a.is_subset_of(&or));
+        prop_assert!(b.is_subset_of(&or));
+        prop_assert!(and.is_subset_of(&a));
+        prop_assert!(and.is_subset_of(&b));
+    }
+
+    #[test]
+    fn iter_ones_roundtrip((len, ones) in bits_strategy(3000)) {
+        let bv = BitVec::from_ones(len, ones.iter().copied());
+        let collected: Vec<usize> = bv.iter_ones().collect();
+        let rebuilt = BitVec::from_ones(len, collected.iter().copied());
+        prop_assert_eq!(&bv, &rebuilt);
+        // Sorted and unique.
+        prop_assert!(collected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn serialization_roundtrip((len, ones) in bits_strategy(4000)) {
+        let bv = BitVec::from_ones(len, ones);
+        let back = BitVec::from_bytes(&bv.to_bytes()).unwrap();
+        prop_assert_eq!(bv, back);
+    }
+
+    #[test]
+    fn rank_select_consistent((len, ones) in bits_strategy(4000)) {
+        let rb = RankBitVec::new(BitVec::from_ones(len, ones));
+        let mut acc = 0usize;
+        for i in 0..len {
+            prop_assert_eq!(rb.rank1(i), acc);
+            if rb.get(i) { acc += 1; }
+        }
+        prop_assert_eq!(rb.rank1(len), acc);
+        for k in 0..rb.count_ones() {
+            let p = rb.select1(k).unwrap();
+            prop_assert!(rb.get(p));
+            prop_assert_eq!(rb.rank1(p), k);
+        }
+    }
+
+    #[test]
+    fn rrr_equals_dense((len, ones) in bits_strategy(4000)) {
+        let dense = BitVec::from_ones(len, ones);
+        let rrr = RrrVec::from_bitvec(&dense);
+        prop_assert_eq!(rrr.len(), dense.len());
+        prop_assert_eq!(rrr.count_ones(), dense.count_ones());
+        prop_assert_eq!(rrr.to_bitvec(), dense.clone());
+        let rank_dense = RankBitVec::new(dense.clone());
+        for i in (0..len).step_by(7) {
+            prop_assert_eq!(rrr.get(i), dense.get(i));
+            prop_assert_eq!(rrr.rank1(i), rank_dense.rank1(i));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Counting Bloom filter: per-position saturating counters instead of bits,
+//! enabling deletion.
+//!
+//! The paper points out that "Bloom Filters in RAMBO can be replaced with any
+//! other set membership testing method" (§1.1). A counting filter is the
+//! canonical drop-in when documents must be *removable* from a BFU (e.g.
+//! retracted submissions in a live archive) — an extension beyond the paper's
+//! evaluation, included to exercise that claim.
+
+use rambo_hash::HashPair;
+use serde::{Deserialize, Serialize};
+
+/// A counting Bloom filter with `u8` saturating counters.
+///
+/// Counters saturate at 255 and, once saturated, are never decremented (the
+/// classic soundness rule: decrementing a saturated counter could introduce
+/// false negatives).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    eta: u32,
+    seed: u64,
+    inserts: u64,
+}
+
+impl CountingBloomFilter {
+    /// An empty filter of `m` counters with `eta` probes per key.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `eta == 0`.
+    #[must_use]
+    pub fn new(m: usize, eta: u32, seed: u64) -> Self {
+        assert!(m > 0 && eta > 0);
+        Self {
+            counters: vec![0; m],
+            eta,
+            seed,
+            inserts: 0,
+        }
+    }
+
+    #[inline]
+    fn positions(&self, pair: HashPair) -> impl Iterator<Item = usize> + '_ {
+        let m = self.counters.len() as u64;
+        (0..self.eta).map(move |i| pair.index(i, m) as usize)
+    }
+
+    /// Insert a packed 64-bit key.
+    pub fn insert_u64(&mut self, key: u64) {
+        let pair = HashPair::of_u64(key, self.seed);
+        for pos in self.positions(pair).collect::<Vec<_>>() {
+            self.counters[pos] = self.counters[pos].saturating_add(1);
+        }
+        self.inserts += 1;
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains_u64(&self, key: u64) -> bool {
+        let pair = HashPair::of_u64(key, self.seed);
+        self.positions(pair).all(|pos| self.counters[pos] > 0)
+    }
+
+    /// Remove one occurrence of the key. Returns `false` (and changes
+    /// nothing) when the key tests as absent — removing a non-member would
+    /// corrupt other keys' counters.
+    pub fn remove_u64(&mut self, key: u64) -> bool {
+        if !self.contains_u64(key) {
+            return false;
+        }
+        let pair = HashPair::of_u64(key, self.seed);
+        for pos in self.positions(pair).collect::<Vec<_>>() {
+            // Never decrement a saturated counter.
+            if self.counters[pos] != u8::MAX {
+                self.counters[pos] -= 1;
+            }
+        }
+        self.inserts = self.inserts.saturating_sub(1);
+        true
+    }
+
+    /// Number of counters (`m`).
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Live insert count (inserts minus successful removes).
+    #[must_use]
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Heap bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_cycle() {
+        let mut f = CountingBloomFilter::new(1 << 12, 4, 3);
+        for i in 0..100u64 {
+            f.insert_u64(i);
+        }
+        for i in 0..100u64 {
+            assert!(f.contains_u64(i));
+        }
+        for i in 0..50u64 {
+            assert!(f.remove_u64(i));
+        }
+        // Removed keys are (very likely) gone; retained keys must remain.
+        for i in 50..100u64 {
+            assert!(f.contains_u64(i), "false negative on retained key {i}");
+        }
+        let still_there = (0..50u64).filter(|&i| f.contains_u64(i)).count();
+        assert!(still_there < 5, "{still_there} removed keys still visible");
+    }
+
+    #[test]
+    fn remove_absent_key_is_noop() {
+        let mut f = CountingBloomFilter::new(1 << 10, 3, 9);
+        f.insert_u64(1);
+        assert!(!f.remove_u64(999_999));
+        assert!(f.contains_u64(1));
+        assert_eq!(f.inserts(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut f = CountingBloomFilter::new(1 << 10, 3, 5);
+        f.insert_u64(7);
+        f.insert_u64(7);
+        assert!(f.remove_u64(7));
+        assert!(f.contains_u64(7), "one copy should survive");
+        assert!(f.remove_u64(7));
+        assert!(!f.contains_u64(7));
+    }
+
+    #[test]
+    fn counters_saturate_without_wrapping() {
+        let mut f = CountingBloomFilter::new(8, 1, 1);
+        for _ in 0..300 {
+            f.insert_u64(42);
+        }
+        assert!(f.contains_u64(42));
+        // Saturated counters are not decremented, so the key persists even
+        // after many removals — soundness over precision.
+        for _ in 0..300 {
+            let _ = f.remove_u64(42);
+        }
+        assert!(f.contains_u64(42));
+    }
+}

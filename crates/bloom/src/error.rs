@@ -1,0 +1,59 @@
+//! Error type for filter merging and serialization.
+
+use rambo_bitvec::DecodeError;
+use std::fmt;
+
+/// Errors produced by Bloom filter operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BloomError {
+    /// Two filters with different `(m, η, seed)` cannot be merged: their bit
+    /// patterns are not comparable and OR-ing them would break the
+    /// no-false-negative guarantee.
+    ParamsMismatch {
+        /// Human-readable description of the differing field.
+        detail: String,
+    },
+    /// Binary deserialization failed.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for BloomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ParamsMismatch { detail } => {
+                write!(f, "bloom filter parameter mismatch: {detail}")
+            }
+            Self::Decode(e) => write!(f, "bloom filter decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BloomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Decode(e) => Some(e),
+            Self::ParamsMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<DecodeError> for BloomError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = BloomError::ParamsMismatch {
+            detail: "m 10 vs 20".into(),
+        };
+        assert!(e.to_string().contains("m 10 vs 20"));
+        let d = BloomError::from(DecodeError::new("short"));
+        assert!(d.to_string().contains("short"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Scalable Bloom filter (Almeida, Baquero, Preguiça, Hutchison — reference
+//! [4] of the RAMBO paper).
+//!
+//! The paper suggests scalable filters for BFUs whose cardinality is unknown
+//! in advance ("The size of the BFU can be predefined or a scalable Bloom
+//! Filter can be used for adaptive size", §3.2). The construction keeps a
+//! list of plain filters; when the newest one reaches its design capacity a
+//! fresh, larger one is appended. Each successive slice gets a *tightened*
+//! error budget `p·r^i` so the compounded FPR stays below
+//! `p / (1 − r)`.
+
+use crate::filter::BloomFilter;
+use crate::params::{optimal_eta_for_fpr, optimal_m, BloomParams};
+use rambo_hash::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Growth factor for slice capacities (Almeida et al. recommend 2–4).
+const GROWTH: usize = 2;
+
+/// A Bloom filter that grows to fit its input while honouring a compounded
+/// false-positive budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalableBloomFilter {
+    slices: Vec<BloomFilter>,
+    /// Capacity (keys) of each slice, parallel to `slices`.
+    capacities: Vec<usize>,
+    /// Keys inserted into the newest slice.
+    current_fill: usize,
+    initial_capacity: usize,
+    base_fpr: f64,
+    tightening: f64,
+    seed: u64,
+}
+
+impl ScalableBloomFilter {
+    /// Create a filter that starts sized for `initial_capacity` keys at
+    /// overall false-positive budget ≈ `fpr / (1 − tightening)` with the
+    /// conventional tightening ratio `0.5`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fpr < 1` and `initial_capacity > 0`.
+    #[must_use]
+    pub fn new(initial_capacity: usize, fpr: f64, seed: u64) -> Self {
+        Self::with_tightening(initial_capacity, fpr, 0.5, seed)
+    }
+
+    /// Full-control constructor; `tightening` in `(0, 1)` multiplies each new
+    /// slice's error budget.
+    ///
+    /// # Panics
+    /// Panics on out-of-range arguments.
+    #[must_use]
+    pub fn with_tightening(
+        initial_capacity: usize,
+        fpr: f64,
+        tightening: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(initial_capacity > 0, "capacity must be positive");
+        assert!(fpr > 0.0 && fpr < 1.0, "fpr must be in (0, 1)");
+        assert!(
+            tightening > 0.0 && tightening < 1.0,
+            "tightening ratio must be in (0, 1)"
+        );
+        let mut f = Self {
+            slices: Vec::new(),
+            capacities: Vec::new(),
+            current_fill: 0,
+            initial_capacity,
+            base_fpr: fpr,
+            tightening,
+            seed,
+        };
+        f.grow();
+        f
+    }
+
+    fn grow(&mut self) {
+        let i = self.slices.len();
+        let capacity = self.initial_capacity * GROWTH.pow(i as u32);
+        let fpr = self.base_fpr * self.tightening.powi(i as i32);
+        // Derive a fresh slice seed deterministically so serialization is
+        // reproducible and slices stay independent.
+        let mut s = SplitMix64::new(self.seed.wrapping_add(i as u64));
+        let params = BloomParams {
+            m_bits: optimal_m(capacity, fpr),
+            eta: optimal_eta_for_fpr(fpr),
+            seed: s.next_u64(),
+        };
+        self.slices.push(BloomFilter::new(params));
+        self.capacities.push(capacity);
+        self.current_fill = 0;
+    }
+
+    /// Insert a byte key, growing if the active slice is at capacity.
+    pub fn insert_bytes(&mut self, key: &[u8]) {
+        if self.current_fill
+            >= self.capacities[self.slices.len() - 1]
+        {
+            self.grow();
+        }
+        self.slices.last_mut().expect("at least one slice").insert_bytes(key);
+        self.current_fill += 1;
+    }
+
+    /// Insert a packed 64-bit key.
+    pub fn insert_u64(&mut self, key: u64) {
+        self.insert_bytes(&key.to_le_bytes());
+    }
+
+    /// Membership test: true if *any* slice reports the key.
+    #[must_use]
+    pub fn contains_bytes(&self, key: &[u8]) -> bool {
+        self.slices.iter().any(|s| s.contains_bytes(key))
+    }
+
+    /// Membership test for a packed 64-bit key.
+    #[must_use]
+    pub fn contains_u64(&self, key: u64) -> bool {
+        self.contains_bytes(&key.to_le_bytes())
+    }
+
+    /// Number of slices grown so far.
+    #[must_use]
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total keys inserted.
+    #[must_use]
+    pub fn inserts(&self) -> u64 {
+        self.slices.iter().map(BloomFilter::inserts).sum()
+    }
+
+    /// Compounded false-positive estimate: `1 − Π(1 − p̂_i)`.
+    #[must_use]
+    pub fn estimated_fpr(&self) -> f64 {
+        1.0 - self
+            .slices
+            .iter()
+            .map(|s| 1.0 - s.estimated_fpr())
+            .product::<f64>()
+    }
+
+    /// Heap bytes across all slices.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.slices.iter().map(BloomFilter::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_never_forgets() {
+        let mut f = ScalableBloomFilter::new(100, 0.01, 7);
+        for i in 0..5_000u64 {
+            f.insert_u64(i);
+        }
+        assert!(f.slice_count() > 1, "must have grown");
+        for i in 0..5_000u64 {
+            assert!(f.contains_u64(i), "lost key {i}");
+        }
+        assert_eq!(f.inserts(), 5_000);
+    }
+
+    #[test]
+    fn fpr_budget_respected_after_growth() {
+        let mut f = ScalableBloomFilter::new(200, 0.01, 11);
+        for i in 0..10_000u64 {
+            f.insert_u64(i);
+        }
+        let trials = 30_000u32;
+        let fp = (0..trials)
+            .filter(|&t| f.contains_u64(1_000_000_000 + u64::from(t)))
+            .count();
+        let rate = fp as f64 / f64::from(trials);
+        // Budget = p/(1-r) = 0.02; allow sampling slack.
+        assert!(rate < 0.03, "measured compounded FPR {rate}");
+    }
+
+    #[test]
+    fn no_growth_when_within_capacity() {
+        let mut f = ScalableBloomFilter::new(1000, 0.05, 3);
+        for i in 0..900u64 {
+            f.insert_u64(i);
+        }
+        assert_eq!(f.slice_count(), 1);
+    }
+
+    #[test]
+    fn empty_contains_nothing() {
+        let f = ScalableBloomFilter::new(10, 0.1, 1);
+        assert!(!f.contains_u64(42));
+        assert_eq!(f.estimated_fpr(), 0.0);
+    }
+
+    #[test]
+    fn size_grows_geometrically() {
+        let mut f = ScalableBloomFilter::new(100, 0.01, 5);
+        let initial = f.size_bytes();
+        for i in 0..1_000u64 {
+            f.insert_u64(i);
+        }
+        assert!(f.size_bytes() > initial);
+    }
+}

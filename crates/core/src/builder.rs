@@ -1,0 +1,317 @@
+//! Guided parameter selection (§5.1 "Parameter Selection and Design
+//! Choices").
+//!
+//! The paper's recipe: `B = O(√K)` with constants found empirically, `R =
+//! O(log K)`, and BFU sizes from the *pooled* average document cardinality
+//! ("it is sufficient to estimate the average set cardinality from a tiny
+//! fraction of the data, and we use this cardinality to set the size for all
+//! BFUs"). [`RamboBuilder`] packages exactly that, with every knob
+//! overridable for reproducing the paper's hand-tuned settings.
+
+use crate::error::RamboError;
+use crate::index::Rambo;
+use crate::params::RamboParams;
+use crate::partition::PartitionScheme;
+use crate::theory;
+use rambo_bloom::params::optimal_m;
+
+/// Builder deriving `(B, R, m, η)` from workload estimates.
+#[derive(Debug, Clone)]
+pub struct RamboBuilder {
+    expected_documents: Option<usize>,
+    expected_terms_per_doc: Option<usize>,
+    expected_multiplicity: u32,
+    target_fpr: f64,
+    buckets: Option<u64>,
+    nodes: Option<u64>,
+    repetitions: Option<usize>,
+    bfu_bits: Option<usize>,
+    eta: Option<u32>,
+    seed: u64,
+}
+
+impl Default for RamboBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RamboBuilder {
+    /// Start with the paper's defaults (η = 2, per-BFU FPR target 1%,
+    /// multiplicity estimate V = 2).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            expected_documents: None,
+            expected_terms_per_doc: None,
+            expected_multiplicity: 2,
+            target_fpr: 0.01,
+            buckets: None,
+            nodes: None,
+            repetitions: None,
+            bfu_bits: None,
+            eta: None,
+            seed: 0,
+        }
+    }
+
+    /// Expected number of documents `K` (drives `B` and `R`). Required
+    /// unless `buckets`, `repetitions` and `bfu_bits` are all overridden.
+    #[must_use]
+    pub fn expected_documents(mut self, k: usize) -> Self {
+        self.expected_documents = Some(k);
+        self
+    }
+
+    /// Pooled average distinct terms per document (drives BFU sizing —
+    /// the §5.1 pooling method).
+    #[must_use]
+    pub fn expected_terms_per_doc(mut self, n: usize) -> Self {
+        self.expected_terms_per_doc = Some(n);
+        self
+    }
+
+    /// Expected term multiplicity `V` (how many documents share a typical
+    /// term); enters `B = √(KV/η)`.
+    #[must_use]
+    pub fn expected_multiplicity(mut self, v: u32) -> Self {
+        self.expected_multiplicity = v.max(1);
+        self
+    }
+
+    /// Target *per-BFU* false-positive rate `p` (the overall rate follows
+    /// Lemma 4.2; see [`theory::overall_fpr_bound`]).
+    #[must_use]
+    pub fn target_fpr(mut self, p: f64) -> Self {
+        self.target_fpr = p;
+        self
+    }
+
+    /// Override the bucket count `B`.
+    #[must_use]
+    pub fn buckets(mut self, b: u64) -> Self {
+        self.buckets = Some(b);
+        self
+    }
+
+    /// Lay the buckets out over `n` (simulated) nodes — §5.3 two-level
+    /// scheme; `B` must then be divisible by `n`.
+    #[must_use]
+    pub fn nodes(mut self, n: u64) -> Self {
+        self.nodes = Some(n);
+        self
+    }
+
+    /// Override the repetition count `R`.
+    #[must_use]
+    pub fn repetitions(mut self, r: usize) -> Self {
+        self.repetitions = Some(r);
+        self
+    }
+
+    /// Override the BFU size in bits.
+    #[must_use]
+    pub fn bfu_bits(mut self, m: usize) -> Self {
+        self.bfu_bits = Some(m);
+        self
+    }
+
+    /// Override the per-BFU hash count `η`.
+    #[must_use]
+    pub fn eta(mut self, eta: u32) -> Self {
+        self.eta = Some(eta);
+        self
+    }
+
+    /// Master seed for all hash families.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Resolve the final parameters without constructing the index.
+    ///
+    /// # Errors
+    /// [`RamboError::InvalidParams`] when required estimates are missing or
+    /// the node count does not divide `B`.
+    pub fn params(&self) -> Result<RamboParams, RamboError> {
+        let eta = self.eta.unwrap_or(2); // the paper's RAMBO setting
+        let buckets = match self.buckets {
+            Some(b) => b,
+            None => {
+                let k = self.expected_documents.ok_or_else(|| {
+                    RamboError::InvalidParams(
+                        "expected_documents required to derive B (or set buckets)".into(),
+                    )
+                })?;
+                theory::optimal_buckets(k, self.expected_multiplicity, eta)
+            }
+        };
+        let repetitions = match self.repetitions {
+            Some(r) => r,
+            None => {
+                let k = self.expected_documents.ok_or_else(|| {
+                    RamboError::InvalidParams(
+                        "expected_documents required to derive R (or set repetitions)".into(),
+                    )
+                })?;
+                // The paper's empirical range is R = 2..5 for K = 100..460500;
+                // log10 K matches that envelope.
+                ((k.max(2) as f64).log10().ceil() as usize).clamp(2, 8)
+            }
+        };
+        let bfu_bits = match self.bfu_bits {
+            Some(m) => m,
+            None => {
+                let k = self.expected_documents.ok_or_else(|| {
+                    RamboError::InvalidParams(
+                        "expected_documents required to size BFUs (or set bfu_bits)".into(),
+                    )
+                })?;
+                let n_bar = self.expected_terms_per_doc.ok_or_else(|| {
+                    RamboError::InvalidParams(
+                        "expected_terms_per_doc required to size BFUs (or set bfu_bits)".into(),
+                    )
+                })?;
+                // Pooling method: expected keys per BFU = (K/B)·n̄, shrunk by
+                // the Γ deduplication factor.
+                let per_bucket = ((k as f64 / buckets as f64)
+                    * n_bar as f64
+                    * theory::gamma(buckets, self.expected_multiplicity))
+                .ceil()
+                .max(8.0) as usize;
+                optimal_m(per_bucket, self.target_fpr)
+            }
+        };
+        let partition = match self.nodes {
+            None => PartitionScheme::Flat { buckets },
+            Some(n) => {
+                if n == 0 || buckets % n != 0 {
+                    return Err(RamboError::InvalidParams(format!(
+                        "nodes ({n}) must divide the bucket count ({buckets})"
+                    )));
+                }
+                PartitionScheme::TwoLevel {
+                    nodes: n,
+                    local_buckets: buckets / n,
+                }
+            }
+        };
+        let params = RamboParams {
+            partition,
+            repetitions,
+            bfu_bits,
+            eta,
+            seed: self.seed,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Build an empty index with the resolved parameters.
+    ///
+    /// # Errors
+    /// Same as [`RamboBuilder::params`].
+    pub fn build(&self) -> Result<Rambo, RamboError> {
+        Rambo::new(self.params()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_paper_shaped_parameters() {
+        let p = RamboBuilder::new()
+            .expected_documents(2000)
+            .expected_terms_per_doc(10_000)
+            .seed(1)
+            .params()
+            .unwrap();
+        // B = √(KV/η) = √(2000·2/2) ≈ 45.
+        assert!((30..70).contains(&p.buckets()), "B = {}", p.buckets());
+        // R = ceil(log10 2000) = 4.
+        assert_eq!(p.repetitions, 4);
+        assert_eq!(p.eta, 2);
+        assert!(p.bfu_bits > 0);
+    }
+
+    #[test]
+    fn overrides_win() {
+        let p = RamboBuilder::new()
+            .buckets(100)
+            .repetitions(5)
+            .bfu_bits(1 << 20)
+            .eta(3)
+            .seed(9)
+            .params()
+            .unwrap();
+        assert_eq!(p.buckets(), 100);
+        assert_eq!(p.repetitions, 5);
+        assert_eq!(p.bfu_bits, 1 << 20);
+        assert_eq!(p.eta, 3);
+    }
+
+    #[test]
+    fn missing_estimates_are_reported() {
+        assert!(RamboBuilder::new().params().is_err());
+        assert!(RamboBuilder::new()
+            .expected_documents(100)
+            .params()
+            .is_err()); // still needs terms per doc for sizing
+    }
+
+    #[test]
+    fn nodes_must_divide_buckets() {
+        let err = RamboBuilder::new()
+            .buckets(100)
+            .repetitions(2)
+            .bfu_bits(1024)
+            .nodes(7)
+            .params();
+        assert!(err.is_err());
+        let ok = RamboBuilder::new()
+            .buckets(100)
+            .repetitions(2)
+            .bfu_bits(1024)
+            .nodes(10)
+            .params()
+            .unwrap();
+        assert_eq!(
+            ok.partition,
+            PartitionScheme::TwoLevel {
+                nodes: 10,
+                local_buckets: 10
+            }
+        );
+    }
+
+    #[test]
+    fn builder_builds_working_index() {
+        let mut idx = RamboBuilder::new()
+            .expected_documents(50)
+            .expected_terms_per_doc(100)
+            .seed(3)
+            .build()
+            .unwrap();
+        let d = idx.insert_document("g", [7u64, 8, 9]).unwrap();
+        assert!(idx.query_u64(8).contains(&d));
+    }
+
+    #[test]
+    fn bigger_documents_get_bigger_bfus() {
+        let small = RamboBuilder::new()
+            .expected_documents(100)
+            .expected_terms_per_doc(1_000)
+            .params()
+            .unwrap();
+        let large = RamboBuilder::new()
+            .expected_documents(100)
+            .expected_terms_per_doc(100_000)
+            .params()
+            .unwrap();
+        assert!(large.bfu_bits > small.bfu_bits * 50);
+    }
+}

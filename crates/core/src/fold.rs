@@ -1,0 +1,229 @@
+//! Fold-over (§5.3, Figure 3): halve `B` by OR-ing the upper half of each
+//! repetition's BFUs onto the lower half.
+//!
+//! Because a BFU is a Bloom filter of the *union* of its documents, OR-ing
+//! BFU `b` with BFU `b + B/2` yields exactly the BFU of the merged bucket —
+//! i.e. the index one would have built with `B/2` partitions and partition
+//! hash `φᵢ mod B/2`. The paper uses this for one-time post-construction
+//! size/accuracy tuning: "a one-time processing allows us to create several
+//! versions of RAMBO with varying sizes and FP rates" (Table 4, Figure 4).
+//! Folding never introduces false negatives; it raises the false-positive
+//! rate super-linearly as memory shrinks by 2×, 4×, 8×…
+
+use crate::error::RamboError;
+use crate::index::Rambo;
+
+impl Rambo {
+    /// Fold once: `B → B/2`, total size halves, FPR grows.
+    ///
+    /// # Errors
+    /// [`RamboError::FoldUnavailable`] when the current bucket count is odd
+    /// or would drop below 2, and [`RamboError::Bloom`] if the BFU merge
+    /// detects mismatched parameters (impossible for indexes built by this
+    /// crate, but kept as a guard for hand-assembled ones).
+    pub fn fold_once(&mut self) -> Result<(), RamboError> {
+        let b = self.current_buckets;
+        if !b.is_multiple_of(2) {
+            return Err(RamboError::FoldUnavailable(format!(
+                "bucket count {b} is odd"
+            )));
+        }
+        if b < 4 {
+            return Err(RamboError::FoldUnavailable(format!(
+                "folding below 2 buckets (current {b}) would collapse the partition"
+            )));
+        }
+        let half = (b / 2) as usize;
+        for table in &mut self.tables {
+            // OR the upper-half columns onto the lower half.
+            table.matrix.fold_once()?;
+            // Merge bucket membership: new bucket = old mod B/2.
+            for i in 0..half {
+                let moved = std::mem::take(&mut table.buckets[half + i]);
+                table.buckets[i].extend(moved);
+                table.buckets[i].sort_unstable();
+            }
+            table.buckets.truncate(half);
+            for a in &mut table.assign {
+                if *a >= half as u32 {
+                    *a -= half as u32;
+                }
+            }
+        }
+        self.current_buckets = b / 2;
+        self.fold_factor += 1;
+        Ok(())
+    }
+
+    /// Fold `n` times.
+    ///
+    /// # Errors
+    /// Stops at the first unavailable fold (state stays consistent: all
+    /// completed folds are applied).
+    pub fn fold_times(&mut self, n: u32) -> Result<(), RamboError> {
+        for _ in 0..n {
+            self.fold_once()?;
+        }
+        Ok(())
+    }
+
+    /// Clone-and-fold: the Table 4 workflow of deriving several index sizes
+    /// from one build.
+    ///
+    /// # Errors
+    /// Same as [`Rambo::fold_times`].
+    pub fn folded(&self, n: u32) -> Result<Self, RamboError> {
+        let mut copy = self.clone();
+        copy.fold_times(n)?;
+        Ok(copy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RamboParams;
+    use crate::query::QueryMode;
+    use crate::DocId;
+
+    fn build(buckets: u64, k: usize, seed: u64) -> (Rambo, Vec<Vec<u64>>) {
+        let mut r = Rambo::new(RamboParams::flat(buckets, 3, 1 << 13, 2, seed)).unwrap();
+        let mut contents = Vec::new();
+        for d in 0..k {
+            let base = (d as u64) << 20;
+            let ts: Vec<u64> = (0..40u64).map(|t| base | t).collect();
+            r.insert_document(&format!("doc{d}"), ts.iter().copied())
+                .unwrap();
+            contents.push(ts);
+        }
+        (r, contents)
+    }
+
+    #[test]
+    fn fold_halves_buckets_and_size() {
+        // B must stay above word granularity (64 columns) for the matrix
+        // rows to actually narrow.
+        let (mut r, _) = build(256, 60, 1);
+        let size0 = r.size_bytes();
+        r.fold_once().unwrap();
+        assert_eq!(r.buckets(), 128);
+        assert_eq!(r.fold_factor(), 1);
+        assert!(r.size_bytes() < size0, "folding must shrink the index");
+        r.fold_once().unwrap();
+        assert_eq!(r.buckets(), 64);
+    }
+
+    #[test]
+    fn fold_preserves_zero_false_negatives() {
+        let (mut r, contents) = build(16, 60, 2);
+        r.fold_times(2).unwrap();
+        for (d, ts) in contents.iter().enumerate() {
+            for &t in ts.iter().take(3) {
+                assert!(
+                    r.query_u64(t).contains(&(d as DocId)),
+                    "doc {d} lost after folding"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn folded_equals_building_with_half_b() {
+        // The semantic claim behind fold-over: folding B=16 once yields the
+        // same BFU bit patterns as... NOT in general the same as building at
+        // B=8 (the partition hash ranges differ), but it must equal merging
+        // bucket pairs (b, b+8). Verify bucket contents and filter bits.
+        let (mut r, _) = build(16, 80, 3);
+        let before = r.clone();
+        r.fold_once().unwrap();
+        for rep in 0..3 {
+            for b in 0..8usize {
+                // Filter = OR of the two source filters.
+                let mut expect = before.bfu_bits(rep, b);
+                expect.or_assign(&before.bfu_bits(rep, b + 8));
+                assert_eq!(r.bfu_bits(rep, b), expect);
+                // Bucket docs = union of the two source buckets.
+                let mut docs: Vec<DocId> = before
+                    .bucket_documents(rep, b)
+                    .iter()
+                    .chain(before.bucket_documents(rep, b + 8))
+                    .copied()
+                    .collect();
+                docs.sort_unstable();
+                assert_eq!(r.bucket_documents(rep, b), docs.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn fold_keeps_assignment_consistent() {
+        let (mut r, _) = build(16, 50, 4);
+        r.fold_once().unwrap();
+        for rep in 0..3 {
+            for b in 0..8usize {
+                for &d in r.bucket_documents(rep, b) {
+                    assert_eq!(r.bucket_of(rep, d), b as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn documents_added_after_fold_are_queryable() {
+        let (mut r, _) = build(16, 30, 5);
+        r.fold_once().unwrap();
+        let d = r.insert_document("late-arrival", [0xAAAA_BBBBu64]).unwrap();
+        assert!(r.query_u64(0xAAAA_BBBB).contains(&d));
+        // And its assignment respects the folded range.
+        for rep in 0..3 {
+            assert!(u64::from(r.bucket_of(rep, d)) < r.buckets());
+        }
+    }
+
+    #[test]
+    fn fold_increases_fpr() {
+        let (r, _) = build(32, 200, 6);
+        let folded = r.folded(3).unwrap();
+        // Estimated per-BFU FPR grows as filters merge.
+        assert!(folded.estimated_bfu_fpr() > r.estimated_bfu_fpr());
+        // Measured: count false-positive docs on absent terms.
+        let mut fp_base = 0usize;
+        let mut fp_fold = 0usize;
+        for t in 0..300u64 {
+            let probe = 0xFFFF_0000_0000u64 + t;
+            fp_base += r.query_u64(probe).len();
+            fp_fold += folded.query_u64(probe).len();
+        }
+        assert!(
+            fp_fold >= fp_base,
+            "folding should not reduce false positives (base {fp_base}, folded {fp_fold})"
+        );
+    }
+
+    #[test]
+    fn fold_unavailable_cases() {
+        let (mut r, _) = build(6, 10, 7); // 6 → 3 (odd) → error on second fold
+        r.fold_once().unwrap();
+        assert!(matches!(
+            r.fold_once(),
+            Err(RamboError::FoldUnavailable(_))
+        ));
+        let (mut tiny, _) = build(2, 5, 8);
+        assert!(matches!(
+            tiny.fold_once(),
+            Err(RamboError::FoldUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn sparse_mode_agrees_after_folding() {
+        let (mut r, contents) = build(16, 60, 9);
+        r.fold_once().unwrap();
+        for &t in contents[10].iter().take(5) {
+            assert_eq!(
+                r.query_terms_u64(&[t], QueryMode::Full),
+                r.query_terms_u64(&[t], QueryMode::Sparse)
+            );
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Position-major BFU storage: the Count-Min-Sketch layout of a RAMBO table.
+//!
+//! A repetition holds `B` Bloom Filters for the Union that share one hash
+//! family and one size `m` (required for fold-over and stacking). A query
+//! term therefore probes the *same* bit position in every BFU — exactly a
+//! Count-Min-Sketch row access. Storing the table as an `m × B` bit matrix
+//! (row = filter position, column = BFU) turns the per-table probe from
+//! `B·η` scattered bit reads into `η` contiguous `B`-bit row reads ANDed
+//! together — the same word-parallel trick BIGSI/COBS use across documents,
+//! applied across buckets. This is what makes RAMBO's `O(√K)` probe phase
+//! beat COBS's `O(K)` row scan in practice and not just asymptotically.
+//!
+//! The layout also keeps the §5.3 operations cheap and exact:
+//! * **fold-over** ORs the right half of every row onto the left half
+//!   (columns `b` and `b + B/2` merge — Figure 3);
+//! * **stacking** copies each node's rows into a column window of the global
+//!   matrix (`global bucket = node·b + local`).
+
+use crate::error::RamboError;
+use bytes::{Buf, BufMut};
+use rambo_bitvec::{BitVec, DecodeError};
+use rambo_hash::HashPair;
+
+const MAGIC: &[u8; 4] = b"RBFM";
+
+/// An `m × B` bit matrix holding one repetition's BFUs column-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BfuMatrix {
+    /// Filter length in bits (`m`) — the number of rows.
+    m_bits: usize,
+    /// Number of BFUs (`B`) — the number of columns.
+    buckets: usize,
+    /// Words per row (`⌈B/64⌉`).
+    row_words: usize,
+    /// Row-major bit storage, `m_bits · row_words` words.
+    words: Vec<u64>,
+}
+
+impl BfuMatrix {
+    pub(crate) fn new(m_bits: usize, buckets: usize) -> Self {
+        assert!(m_bits > 0 && buckets > 0);
+        let row_words = buckets.div_ceil(64);
+        Self {
+            m_bits,
+            buckets,
+            row_words,
+            words: vec![0; m_bits * row_words],
+        }
+    }
+
+    pub(crate) fn m_bits(&self) -> usize {
+        self.m_bits
+    }
+
+    pub(crate) fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    #[inline]
+    fn row(&self, p: usize) -> &[u64] {
+        &self.words[p * self.row_words..(p + 1) * self.row_words]
+    }
+
+    /// Set the `eta` filter bits of one term in one BFU (Algorithm 1's
+    /// `Insert(x, RAMBO[φ_d(x), d])`).
+    #[inline]
+    pub(crate) fn insert(&mut self, bucket: usize, pair: HashPair, eta: u32) {
+        debug_assert!(bucket < self.buckets);
+        let m = self.m_bits as u64;
+        for i in 0..eta {
+            let p = pair.index(i, m) as usize;
+            self.words[p * self.row_words + bucket / 64] |= 1u64 << (bucket % 64);
+        }
+    }
+
+    /// Which BFUs contain *all* the given terms: AND of the probed rows,
+    /// written into `mask` (a `B`-bit vector). This is the whole per-table
+    /// probe phase of Algorithm 2 — `η·|pairs|` sequential row reads.
+    pub(crate) fn probe_all_into(&self, pairs: &[HashPair], eta: u32, mask: &mut BitVec) {
+        debug_assert_eq!(mask.len(), self.buckets);
+        // set_all keeps the tail bits beyond B zeroed (BitVec invariant), and
+        // AND can only clear bits, so the mask stays well-formed throughout.
+        mask.set_all();
+        let m = self.m_bits as u64;
+        for pair in pairs {
+            for i in 0..eta {
+                let p = pair.index(i, m) as usize;
+                mask.and_words(self.row(p));
+            }
+        }
+    }
+
+    /// Does one BFU contain all the terms? Used by RAMBO+ for memoized
+    /// candidate-bucket probes.
+    #[inline]
+    pub(crate) fn probe_bucket(&self, bucket: usize, pairs: &[HashPair], eta: u32) -> bool {
+        debug_assert!(bucket < self.buckets);
+        let m = self.m_bits as u64;
+        let (word, bit) = (bucket / 64, bucket % 64);
+        pairs.iter().all(|pair| {
+            (0..eta).all(|i| {
+                let p = pair.index(i, m) as usize;
+                (self.words[p * self.row_words + word] >> bit) & 1 == 1
+            })
+        })
+    }
+
+    /// Extract one BFU's bits as a standalone filter image (column slice).
+    /// O(m) — used for stats, tests and cross-checks, not on query paths.
+    pub(crate) fn column(&self, bucket: usize) -> BitVec {
+        assert!(bucket < self.buckets);
+        let (word, bit) = (bucket / 64, bucket % 64);
+        BitVec::from_ones(
+            self.m_bits,
+            (0..self.m_bits)
+                .filter(|p| (self.words[p * self.row_words + word] >> bit) & 1 == 1),
+        )
+    }
+
+    /// Set-bit count of every column in one matrix pass (for fill/FPR
+    /// statistics without `B` strided column scans).
+    pub(crate) fn column_ones(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.buckets];
+        for p in 0..self.m_bits {
+            for (w, &word) in self.row(p).iter().enumerate() {
+                let mut rest = word;
+                while rest != 0 {
+                    let bit = rest.trailing_zeros() as usize;
+                    counts[w * 64 + bit] += 1;
+                    rest &= rest - 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Fraction of set bits in one BFU column.
+    #[allow(dead_code)] // diagnostic helper; exercised by tests
+    pub(crate) fn column_fill(&self, bucket: usize) -> f64 {
+        let (word, bit) = (bucket / 64, bucket % 64);
+        let ones = (0..self.m_bits)
+            .filter(|p| (self.words[p * self.row_words + word] >> bit) & 1 == 1)
+            .count();
+        ones as f64 / self.m_bits as f64
+    }
+
+    /// Fold-over (§5.3): merge column `b + B/2` into column `b` for every
+    /// row; the matrix narrows to `B/2` columns.
+    ///
+    /// # Errors
+    /// [`RamboError::FoldUnavailable`] when `B` is odd or below 4.
+    pub(crate) fn fold_once(&mut self) -> Result<(), RamboError> {
+        if !self.buckets.is_multiple_of(2) {
+            return Err(RamboError::FoldUnavailable(format!(
+                "bucket count {} is odd",
+                self.buckets
+            )));
+        }
+        if self.buckets < 4 {
+            return Err(RamboError::FoldUnavailable(format!(
+                "folding below 2 buckets (current {}) would collapse the partition",
+                self.buckets
+            )));
+        }
+        let half = self.buckets / 2;
+        let new_row_words = half.div_ceil(64);
+        let mut new_words = vec![0u64; self.m_bits * new_row_words];
+        for p in 0..self.m_bits {
+            let row = self.row(p);
+            let dst = &mut new_words[p * new_row_words..(p + 1) * new_row_words];
+            // Low half: bits [0, half).
+            for (w, d) in dst.iter_mut().enumerate() {
+                *d = row[w];
+            }
+            mask_tail(dst, half);
+            // High half: bits [half, 2·half) shifted down by `half`.
+            let shift = half % 64;
+            let word_off = half / 64;
+            for w in 0..new_row_words {
+                let lo = row[word_off + w] >> shift;
+                let hi = if shift == 0 {
+                    0
+                } else {
+                    row.get(word_off + w + 1).map_or(0, |x| x << (64 - shift))
+                };
+                dst[w] |= lo | hi;
+            }
+            mask_tail(dst, half);
+        }
+        self.buckets = half;
+        self.row_words = new_row_words;
+        self.words = new_words;
+        Ok(())
+    }
+
+    /// Stacking (§5.3, Figure 3): copy `src`'s columns into this matrix at
+    /// column offset `dst_offset` (OR-ing; the window is expected empty).
+    ///
+    /// # Panics
+    /// Panics on row-count mismatch or column overflow.
+    pub(crate) fn copy_columns_from(&mut self, src: &Self, dst_offset: usize) {
+        assert_eq!(self.m_bits, src.m_bits, "row counts must match");
+        assert!(dst_offset + src.buckets <= self.buckets, "column overflow");
+        let shift = dst_offset % 64;
+        let word_off = dst_offset / 64;
+        for p in 0..self.m_bits {
+            let src_row = &src.words[p * src.row_words..(p + 1) * src.row_words];
+            let dst_row = &mut self.words[p * self.row_words..(p + 1) * self.row_words];
+            for (w, &sw) in src_row.iter().enumerate() {
+                if sw == 0 {
+                    continue;
+                }
+                dst_row[word_off + w] |= sw << shift;
+                if shift != 0 && word_off + w + 1 < dst_row.len() {
+                    dst_row[word_off + w + 1] |= sw >> (64 - shift);
+                }
+            }
+            // Clear any bits that spilled past the window (src tail bits are
+            // zero by construction, so nothing to clean in practice).
+        }
+    }
+
+    /// Total set bits (diagnostics).
+    #[allow(dead_code)] // diagnostic helper; exercised by tests
+    pub(crate) fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap bytes of the matrix payload.
+    pub(crate) fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Append the binary encoding.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_slice(MAGIC);
+        out.put_u64_le(self.m_bits as u64);
+        out.put_u64_le(self.buckets as u64);
+        for &w in &self.words {
+            out.put_u64_le(w);
+        }
+    }
+
+    /// Decode, advancing the buffer.
+    pub(crate) fn decode_from(buf: &mut &[u8]) -> Result<Self, RamboError> {
+        if buf.remaining() < 20 {
+            return Err(DecodeError::new("bfu matrix header truncated").into());
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::new("bad bfu matrix magic").into());
+        }
+        let m_bits = usize::try_from(buf.get_u64_le())
+            .map_err(|_| DecodeError::new("matrix rows exceed address space"))?;
+        let buckets = usize::try_from(buf.get_u64_le())
+            .map_err(|_| DecodeError::new("matrix columns exceed address space"))?;
+        if m_bits == 0 || buckets == 0 {
+            return Err(DecodeError::new("matrix with zero dimension").into());
+        }
+        let row_words = buckets.div_ceil(64);
+        let n_words = m_bits
+            .checked_mul(row_words)
+            .ok_or_else(|| DecodeError::new("matrix size overflow"))?;
+        if buf.remaining() < n_words * 8 {
+            return Err(DecodeError::new("bfu matrix payload truncated").into());
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(buf.get_u64_le());
+        }
+        // Validate row tails: bits beyond `buckets` must be clear.
+        let tail = buckets % 64;
+        if tail != 0 {
+            let mask = !((1u64 << tail) - 1);
+            for p in 0..m_bits {
+                if words[p * row_words + row_words - 1] & mask != 0 {
+                    return Err(DecodeError::new("matrix row tail bits set").into());
+                }
+            }
+        }
+        Ok(Self {
+            m_bits,
+            buckets,
+            row_words,
+            words,
+        })
+    }
+}
+
+/// Zero bits at positions `>= len` in the final word of a row.
+fn mask_tail(row: &mut [u64], len: usize) {
+    let tail = len % 64;
+    if tail != 0 {
+        if let Some(last) = row.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(t: u64) -> HashPair {
+        HashPair::of_u64(t, 99)
+    }
+
+    #[test]
+    fn insert_probe_roundtrip() {
+        let mut m = BfuMatrix::new(1 << 10, 70); // >64 columns: two words/row
+        m.insert(3, pair(1), 2);
+        m.insert(68, pair(2), 2);
+        assert!(m.probe_bucket(3, &[pair(1)], 2));
+        assert!(m.probe_bucket(68, &[pair(2)], 2));
+        assert!(!m.probe_bucket(3, &[pair(2)], 2));
+        assert!(!m.probe_bucket(0, &[pair(1)], 2));
+    }
+
+    #[test]
+    fn probe_all_matches_per_bucket_probes() {
+        let mut m = BfuMatrix::new(1 << 12, 130);
+        for b in 0..130usize {
+            for t in 0..(b as u64 % 7) {
+                m.insert(b, pair(t), 3);
+            }
+        }
+        let mut mask = BitVec::zeros(130);
+        for t in 0..7u64 {
+            m.probe_all_into(&[pair(t)], 3, &mut mask);
+            for b in 0..130usize {
+                assert_eq!(
+                    mask.get(b),
+                    m.probe_bucket(b, &[pair(t)], 3),
+                    "term {t} bucket {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_term_probe_is_conjunctive() {
+        let mut m = BfuMatrix::new(1 << 12, 16);
+        m.insert(5, pair(10), 2);
+        m.insert(5, pair(11), 2);
+        m.insert(9, pair(10), 2);
+        let mut mask = BitVec::zeros(16);
+        m.probe_all_into(&[pair(10), pair(11)], 2, &mut mask);
+        assert!(mask.get(5));
+        assert!(!mask.get(9) || m.probe_bucket(9, &[pair(11)], 2));
+    }
+
+    #[test]
+    fn column_extraction_matches_inserts() {
+        let mut m = BfuMatrix::new(4096, 10);
+        m.insert(7, pair(42), 4);
+        let col = m.column(7);
+        let expected: Vec<usize> = (0..4)
+            .map(|i| pair(42).index(i, 4096) as usize)
+            .collect();
+        for p in expected {
+            assert!(col.get(p));
+        }
+        assert!(m.column(6).none());
+        assert!(m.column_fill(7) > 0.0);
+        assert_eq!(m.column_fill(6), 0.0);
+    }
+
+    #[test]
+    fn fold_merges_column_pairs() {
+        for b in [8usize, 70, 128, 130] {
+            let mut m = BfuMatrix::new(2048, b);
+            // Distinct term per bucket.
+            for col in 0..b {
+                m.insert(col, pair(col as u64), 2);
+            }
+            let before: Vec<BitVec> = (0..b).map(|c| m.column(c)).collect();
+            m.fold_once().unwrap();
+            assert_eq!(m.buckets(), b / 2);
+            for c in 0..b / 2 {
+                let mut expect = before[c].clone();
+                expect.or_assign(&before[c + b / 2]);
+                assert_eq!(m.column(c), expect, "B={b} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_guards() {
+        let mut odd = BfuMatrix::new(64, 7);
+        assert!(odd.fold_once().is_err());
+        let mut tiny = BfuMatrix::new(64, 2);
+        assert!(tiny.fold_once().is_err());
+    }
+
+    #[test]
+    fn stacking_copies_column_windows() {
+        // Three shards of 5 columns each → 15-column global, offsets 0/5/10
+        // (exercises non-word-aligned shifts).
+        let mut global = BfuMatrix::new(1024, 15);
+        let mut shards = Vec::new();
+        for node in 0..3u64 {
+            let mut s = BfuMatrix::new(1024, 5);
+            for col in 0..5usize {
+                s.insert(col, pair(node * 100 + col as u64), 3);
+            }
+            shards.push(s);
+        }
+        for (node, s) in shards.iter().enumerate() {
+            global.copy_columns_from(s, node * 5);
+        }
+        for (node, s) in shards.iter().enumerate() {
+            for col in 0..5usize {
+                assert_eq!(
+                    global.column(node * 5 + col),
+                    s.column(col),
+                    "node {node} col {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stacking_across_word_boundaries() {
+        let mut global = BfuMatrix::new(512, 200);
+        let mut src = BfuMatrix::new(512, 90);
+        for col in (0..90).step_by(7) {
+            src.insert(col, pair(col as u64), 2);
+        }
+        global.copy_columns_from(&src, 60); // offset 60, spans words 0..3
+        for col in 0..90 {
+            assert_eq!(global.column(60 + col), src.column(col), "col {col}");
+        }
+        assert_eq!(global.count_ones(), src.count_ones());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut m = BfuMatrix::new(2048, 77);
+        for t in 0..50u64 {
+            m.insert((t % 77) as usize, pair(t), 3);
+        }
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = BfuMatrix::decode_from(&mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn serialization_rejects_corruption() {
+        let m = BfuMatrix::new(64, 10);
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(BfuMatrix::decode_from(&mut bad.as_slice()).is_err());
+        assert!(BfuMatrix::decode_from(&mut &buf[..10]).is_err());
+        // Dirty tail bits.
+        let mut dirty = buf.clone();
+        let last = dirty.len() - 1;
+        dirty[last] |= 0x80; // bit 63 of a 10-column row
+        assert!(BfuMatrix::decode_from(&mut dirty.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,588 @@
+//! Algorithm 2 (query), the RAMBO+ sparse evaluation of §5.1, and the
+//! large-sequence query protocol of §3.3.1.
+//!
+//! A query against one repetition is: probe the BFUs (η contiguous row reads
+//! of the position-major matrix, ANDed into a `B`-bit bucket mask — see
+//! [`crate::matrix`]), union the document sets of the buckets whose BFU
+//! answered *true*, and intersect those unions across repetitions. The
+//! paper's §5.1 measured the AND at under 5% of query cycles; the row-major
+//! probe plus word-AND here reproduces that design.
+//!
+//! Terms are hashed **once per repetition** (each repetition has an
+//! independent Bloom family — see the seed discussion on [`Rambo`]); the
+//! per-repetition [`rambo_hash::HashPair`]s are cached in the
+//! [`QueryContext`] so multi-table evaluation never re-hashes.
+//!
+//! Two evaluation strategies:
+//!
+//! * [`QueryMode::Full`] materializes each repetition's union as a `K`-bit
+//!   document bitmap and word-ANDs them (the paper's base RAMBO with
+//!   "bitmap arrays", §5.1).
+//! * [`QueryMode::Sparse`] is **RAMBO+**: repetitions are evaluated
+//!   sequentially over an explicit candidate list — repetition `r` only
+//!   probes the buckets that still hold live candidates, memoized. Its cost
+//!   is Lemma 4.4's `B·η + (K/B)(V + B·p)·R` with no `O(K)` bitmap pass.
+
+use crate::index::{DocId, Rambo};
+use rambo_bitvec::BitVec;
+use rambo_hash::HashPair;
+
+/// Evaluation strategy for Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Probe all `B × R` BFUs and intersect `K`-bit bitmaps (base RAMBO).
+    #[default]
+    Full,
+    /// RAMBO+ sparse sequential evaluation over candidate lists (§5.1
+    /// "Query time speedup").
+    Sparse,
+}
+
+/// Reusable query scratch space. Query latency at RAMBO's scale is dominated
+/// by cache behaviour; reusing the buffers avoids per-query allocation
+/// entirely.
+#[derive(Debug)]
+pub struct QueryContext {
+    /// Per-(repetition, term) hash pairs, repetition-major.
+    pairs: Vec<HashPair>,
+    /// Bucket mask for the per-table probe (`B` bits).
+    mask: BitVec,
+    /// Intersection accumulator across repetitions (`K` bits, Full mode).
+    acc: BitVec,
+    /// Per-repetition union bitmap (`K` bits, Full mode).
+    tbl: BitVec,
+    /// Probe memo per bucket: 0 unknown, 1 true, 2 false (Sparse mode).
+    probes: Vec<u8>,
+    /// Live candidates (Sparse mode).
+    candidates: Vec<DocId>,
+}
+
+impl Default for QueryContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryContext {
+    /// Fresh context; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            pairs: Vec::new(),
+            mask: BitVec::zeros(0),
+            acc: BitVec::zeros(0),
+            tbl: BitVec::zeros(0),
+            probes: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, docs: usize, buckets: usize) {
+        if self.acc.len() != docs {
+            self.acc = BitVec::zeros(docs);
+            self.tbl = BitVec::zeros(docs);
+        }
+        if self.mask.len() != buckets {
+            self.mask = BitVec::zeros(buckets);
+        }
+        if self.probes.len() < buckets {
+            self.probes.resize(buckets, 0);
+        }
+    }
+}
+
+impl Rambo {
+    /// Query a single packed 64-bit term (allocates a fresh context; use
+    /// [`Rambo::query_terms_with`] with a reused [`QueryContext`] on hot
+    /// paths).
+    #[must_use]
+    pub fn query_u64(&self, term: u64) -> Vec<DocId> {
+        let mut ctx = QueryContext::new();
+        self.query_terms_with(&[term], QueryMode::Full, &mut ctx)
+    }
+
+    /// Query a single byte term.
+    #[must_use]
+    pub fn query_bytes(&self, term: &[u8]) -> Vec<DocId> {
+        let mut ctx = QueryContext::new();
+        self.query_bytes_terms_with(&[term], QueryMode::Full, &mut ctx)
+    }
+
+    /// Query a multi-term set under Algorithm 2 semantics (a BFU matches only
+    /// if it contains *all* terms).
+    #[must_use]
+    pub fn query_terms_u64(&self, terms: &[u64], mode: QueryMode) -> Vec<DocId> {
+        let mut ctx = QueryContext::new();
+        self.query_terms_with(terms, mode, &mut ctx)
+    }
+
+    /// The core of Algorithm 2 over packed terms, with caller-owned scratch
+    /// space. Returns matching document ids in ascending order.
+    ///
+    /// Zero false negatives: every document actually containing all terms is
+    /// returned (its BFUs contain every term in every repetition, so it
+    /// survives each union and the final intersection).
+    #[must_use]
+    pub fn query_terms_with(
+        &self,
+        terms: &[u64],
+        mode: QueryMode,
+        ctx: &mut QueryContext,
+    ) -> Vec<DocId> {
+        if self.num_documents() == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        // Hash each term once per repetition, repetition-major.
+        ctx.pairs.clear();
+        for &seed in &self.bloom_seeds {
+            ctx.pairs
+                .extend(terms.iter().map(|&t| HashPair::of_u64(t, seed)));
+        }
+        self.query_hashed(terms.len(), mode, ctx)
+    }
+
+    /// [`Rambo::query_terms_with`] for byte terms (words, raw k-mer text).
+    #[must_use]
+    pub fn query_bytes_terms_with(
+        &self,
+        terms: &[&[u8]],
+        mode: QueryMode,
+        ctx: &mut QueryContext,
+    ) -> Vec<DocId> {
+        if self.num_documents() == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        ctx.pairs.clear();
+        for &seed in &self.bloom_seeds {
+            ctx.pairs
+                .extend(terms.iter().map(|&t| HashPair::of_bytes(t, seed)));
+        }
+        self.query_hashed(terms.len(), mode, ctx)
+    }
+
+    /// Shared evaluation over the pairs already staged in `ctx.pairs`.
+    fn query_hashed(&self, n_terms: usize, mode: QueryMode, ctx: &mut QueryContext) -> Vec<DocId> {
+        let k = self.num_documents();
+        let b = self.buckets() as usize;
+        ctx.ensure(k, b);
+        match mode {
+            QueryMode::Full => {
+                self.query_full(n_terms, ctx);
+                ctx.acc.iter_ones().map(|i| i as DocId).collect()
+            }
+            QueryMode::Sparse => {
+                self.query_sparse(n_terms, ctx);
+                std::mem::take(&mut ctx.candidates)
+            }
+        }
+    }
+
+    /// Full evaluation: probe every repetition's whole matrix, union into
+    /// `K`-bit bitmaps, intersect across repetitions.
+    fn query_full(&self, n_terms: usize, ctx: &mut QueryContext) {
+        let eta = self.params().eta;
+        for (rep, table) in self.tables.iter().enumerate() {
+            let rep_pairs = &ctx.pairs[rep * n_terms..(rep + 1) * n_terms];
+            table.matrix.probe_all_into(rep_pairs, eta, &mut ctx.mask);
+            let tbl = &mut ctx.tbl;
+            tbl.clear_all();
+            for bucket in ctx.mask.iter_ones() {
+                for &d in &table.buckets[bucket] {
+                    tbl.set(d as usize);
+                }
+            }
+            if rep == 0 {
+                ctx.acc.copy_from(tbl);
+            } else {
+                ctx.acc.and_assign(tbl);
+            }
+            if ctx.acc.none() {
+                return; // intersection already empty — conclusive
+            }
+        }
+    }
+
+    /// RAMBO+ evaluation: repetition 1 probes the matrix once and gathers an
+    /// explicit candidate list; repetition `r > 1` probes only the buckets
+    /// holding surviving candidates, memoized per bucket.
+    fn query_sparse(&self, n_terms: usize, ctx: &mut QueryContext) {
+        let eta = self.params().eta;
+        let b = self.buckets() as usize;
+        // First repetition: full matrix probe, then gather candidates from
+        // the matching buckets (buckets partition the documents, so the
+        // concatenation is duplicate-free; one sort restores id order).
+        let table0 = &self.tables[0];
+        table0
+            .matrix
+            .probe_all_into(&ctx.pairs[..n_terms], eta, &mut ctx.mask);
+        ctx.candidates.clear();
+        for bucket in ctx.mask.iter_ones() {
+            ctx.candidates.extend_from_slice(&table0.buckets[bucket]);
+        }
+        ctx.candidates.sort_unstable();
+
+        for (rep, table) in self.tables.iter().enumerate().skip(1) {
+            if ctx.candidates.is_empty() {
+                return;
+            }
+            ctx.probes[..b].fill(0);
+            let probes = &mut ctx.probes;
+            let rep_pairs = &ctx.pairs[rep * n_terms..(rep + 1) * n_terms];
+            let matrix = &table.matrix;
+            let assign = &table.assign;
+            ctx.candidates.retain(|&d| {
+                let bucket = assign[d as usize] as usize;
+                match probes[bucket] {
+                    1 => true,
+                    2 => false,
+                    _ => {
+                        let ok = matrix.probe_bucket(bucket, rep_pairs, eta);
+                        probes[bucket] = if ok { 1 } else { 2 };
+                        ok
+                    }
+                }
+            });
+        }
+    }
+
+    /// Large-sequence query (§3.3.1): membership-test each term of the query
+    /// sequence and intersect the per-term results, stopping at the first
+    /// term whose result empties the intersection ("the first returned FALSE
+    /// will be conclusive"). The output is bounded by the rarest term.
+    #[must_use]
+    pub fn query_sequence_u64(&self, terms: &[u64], mode: QueryMode) -> Vec<DocId> {
+        let mut ctx = QueryContext::new();
+        self.query_sequence_with(terms, mode, &mut ctx)
+    }
+
+    /// [`Rambo::query_sequence_u64`] with caller-owned scratch space.
+    #[must_use]
+    pub fn query_sequence_with(
+        &self,
+        terms: &[u64],
+        mode: QueryMode,
+        ctx: &mut QueryContext,
+    ) -> Vec<DocId> {
+        let k = self.num_documents();
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let mut acc: Option<Vec<DocId>> = None;
+        for &term in terms {
+            let hits = self.query_terms_with(&[term], mode, ctx);
+            acc = Some(match acc {
+                None => hits,
+                Some(prev) => intersect_sorted_ids(&prev, &hits),
+            });
+            if acc.as_ref().is_some_and(Vec::is_empty) {
+                return Vec::new(); // first conclusive FALSE
+            }
+        }
+        acc.unwrap_or_default()
+    }
+
+    /// θ-fraction sequence query: return documents that (appear to) contain
+    /// at least `theta · terms.len()` of the query terms.
+    ///
+    /// Strict intersection (θ = 1) is brittle on raw-read workloads: a
+    /// sequencing error or coverage gap removes a single k-mer from the
+    /// indexed set and empties the result. The SBT family answers sequence
+    /// queries with a θ threshold for exactly this reason; this method gives
+    /// RAMBO the same robustness. Documents are returned in ascending id
+    /// order; queries that can no longer reach the threshold abort early.
+    ///
+    /// # Panics
+    /// Panics unless `0 < theta ≤ 1`.
+    #[must_use]
+    pub fn query_sequence_theta(
+        &self,
+        terms: &[u64],
+        theta: f64,
+        mode: QueryMode,
+        ctx: &mut QueryContext,
+    ) -> Vec<DocId> {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        let k = self.num_documents();
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let needed = ((theta * terms.len() as f64).ceil() as usize).max(1);
+        let mut counts = vec![0u32; k];
+        for (done, &term) in terms.iter().enumerate() {
+            for d in self.query_terms_with(&[term], mode, ctx) {
+                counts[d as usize] += 1;
+            }
+            // Early exit: even if every remaining term hit every document,
+            // nobody new can reach the threshold once the deficit is fatal.
+            let remaining = terms.len() - done - 1;
+            if remaining == 0 {
+                break;
+            }
+            let best_possible = counts.iter().max().copied().unwrap_or(0) as usize + remaining;
+            if best_possible < needed {
+                return Vec::new();
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c as usize >= needed)
+            .map(|(d, _)| d as DocId)
+            .collect()
+    }
+
+    /// Convenience: resolve query results to document names.
+    #[must_use]
+    pub fn resolve_names(&self, ids: &[DocId]) -> Vec<&str> {
+        ids.iter().map(|&d| self.document_name(d)).collect()
+    }
+}
+
+/// Merge-intersection of two ascending id lists.
+fn intersect_sorted_ids(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RamboParams;
+
+    /// A small index over synthetic documents with known term sets.
+    fn build(k: usize, terms_per_doc: usize, seed: u64) -> (Rambo, Vec<Vec<u64>>) {
+        let params = RamboParams::flat(8, 3, 1 << 14, 2, seed);
+        let mut r = Rambo::new(params).unwrap();
+        let mut contents = Vec::new();
+        for d in 0..k {
+            // Disjoint term ranges per doc, plus one shared term 0xFFFF.
+            let base = (d as u64) << 32;
+            let mut ts: Vec<u64> = (0..terms_per_doc as u64).map(|t| base | t).collect();
+            ts.push(0xFFFF);
+            r.insert_document(&format!("doc{d}"), ts.iter().copied())
+                .unwrap();
+            contents.push(ts);
+        }
+        (r, contents)
+    }
+
+    #[test]
+    fn zero_false_negatives_single_term() {
+        let (r, contents) = build(30, 50, 1);
+        for (d, ts) in contents.iter().enumerate() {
+            for &t in ts.iter().take(5) {
+                let hits = r.query_u64(t);
+                assert!(
+                    hits.contains(&(d as DocId)),
+                    "doc {d} missing for its own term {t:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_and_u64_paths_consistent() {
+        let params = RamboParams::flat(8, 3, 1 << 12, 2, 5);
+        let mut r = Rambo::new(params).unwrap();
+        let d = r.add_document("bytes-doc").unwrap();
+        r.insert_term_bytes(d, b"GATTACA").unwrap();
+        assert!(r.query_bytes(b"GATTACA").contains(&d));
+        assert!(r.query_bytes(b"GATTACC").is_empty());
+    }
+
+    #[test]
+    fn shared_term_returns_all_documents() {
+        let (r, _) = build(20, 30, 2);
+        let hits = r.query_u64(0xFFFF);
+        assert_eq!(hits.len(), 20, "shared term must hit every doc");
+        // Ascending order.
+        assert!(hits.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn absent_term_mostly_returns_empty() {
+        let (r, _) = build(30, 50, 3);
+        let mut nonempty = 0;
+        for probe in 0..200u64 {
+            // Terms outside every doc's range.
+            if !r.query_u64(0xDEAD_0000_0000 + probe).is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty < 20, "too many false-positive result sets: {nonempty}");
+    }
+
+    /// With independent per-repetition Bloom families, a Bloom failure in
+    /// one repetition is uncorrelated with the others, so false positives
+    /// need all R tables to fail *independently*. Regression test for the
+    /// shared-seed bug where a document's own bits made its buckets pass in
+    /// every repetition at once.
+    #[test]
+    fn repetitions_fail_independently() {
+        let (r, _) = build(40, 300, 4); // heavy fill: single-table FPs common
+        let mut single_fp = 0usize;
+        let mut all_rep_fp = 0usize;
+        for probe in 0..400u64 {
+            let t = 0xCCCC_0000_0000 + probe;
+            // Count docs passing in repetition 0 only vs in the full query.
+            for d in 0..40u32 {
+                let b0 = r.bucket_of(0, d) as usize;
+                if r.bfu_contains_u64(0, b0, t) {
+                    single_fp += 1;
+                }
+            }
+            all_rep_fp += r.query_u64(t).len();
+        }
+        assert!(single_fp > 0, "test needs observable single-table FPs");
+        // The full-query FP count must be dramatically below the
+        // single-table count (here: orders of magnitude).
+        assert!(
+            all_rep_fp * 10 < single_fp,
+            "repetitions look correlated: single {single_fp}, full {all_rep_fp}"
+        );
+    }
+
+    #[test]
+    fn sparse_equals_full() {
+        let (r, contents) = build(40, 40, 4);
+        let mut ctx_f = QueryContext::new();
+        let mut ctx_s = QueryContext::new();
+        // Present terms, the shared term, and absent terms.
+        let mut probes: Vec<u64> = contents.iter().flat_map(|ts| ts[..3].to_vec()).collect();
+        probes.push(0xFFFF);
+        probes.extend((0..50).map(|i| 0xABCD_0000_0000u64 + i));
+        for t in probes {
+            let full = r.query_terms_with(&[t], QueryMode::Full, &mut ctx_f);
+            let sparse = r.query_terms_with(&[t], QueryMode::Sparse, &mut ctx_s);
+            assert_eq!(full, sparse, "modes disagree on term {t:#x}");
+        }
+    }
+
+    #[test]
+    fn multi_term_narrows_to_owner() {
+        let (r, contents) = build(25, 40, 5);
+        // Terms 0..4 of doc 7 identify it uniquely (plus possible FPs, but
+        // never missing it).
+        let hits = r.query_terms_u64(&contents[7][..4], QueryMode::Full);
+        assert!(hits.contains(&7));
+        // All-terms semantics must be at least as selective as any single term.
+        let single = r.query_u64(contents[7][0]);
+        assert!(hits.iter().all(|d| single.contains(d)));
+    }
+
+    #[test]
+    fn sequence_query_intersects_terms() {
+        let (r, contents) = build(25, 40, 6);
+        let hits = r.query_sequence_u64(&contents[3][..6], QueryMode::Full);
+        assert!(hits.contains(&3));
+        // A sequence mixing two docs' exclusive terms matches nobody.
+        let mixed = [contents[3][0], contents[4][0]];
+        let hits = r.query_sequence_u64(&mixed, QueryMode::Full);
+        assert!(!hits.contains(&3) || !hits.contains(&4));
+    }
+
+    #[test]
+    fn all_terms_result_subset_of_sequence_result() {
+        // Per-BFU all-terms (Algorithm 2) is at least as selective as
+        // term-at-a-time intersection (§3.3.1); both retain the true owner.
+        let (r, contents) = build(30, 40, 7);
+        for d in [0usize, 9, 21] {
+            let q = &contents[d][..5];
+            let joint = r.query_terms_u64(q, QueryMode::Full);
+            let seq = r.query_sequence_u64(q, QueryMode::Full);
+            assert!(joint.contains(&(d as DocId)));
+            assert!(seq.contains(&(d as DocId)));
+            assert!(
+                joint.iter().all(|x| seq.contains(x)),
+                "all-terms result must be ⊆ sequence result"
+            );
+        }
+    }
+
+    #[test]
+    fn sequence_query_modes_agree() {
+        let (r, contents) = build(20, 30, 11);
+        for d in [2usize, 13] {
+            let q = &contents[d][..4];
+            assert_eq!(
+                r.query_sequence_u64(q, QueryMode::Full),
+                r.query_sequence_u64(q, QueryMode::Sparse)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (r, _) = build(5, 10, 8);
+        assert!(r.query_terms_u64(&[], QueryMode::Full).is_empty());
+        assert!(r.query_sequence_u64(&[], QueryMode::Full).is_empty());
+        let empty = Rambo::new(RamboParams::flat(4, 2, 1024, 2, 0)).unwrap();
+        assert!(empty.query_u64(42).is_empty());
+    }
+
+    #[test]
+    fn context_reuse_is_sound() {
+        let (r, contents) = build(20, 30, 9);
+        let mut ctx = QueryContext::new();
+        // Interleave queries with very different result sizes.
+        let a1 = r.query_terms_with(&[0xFFFF], QueryMode::Full, &mut ctx);
+        let b1 = r.query_terms_with(&[contents[0][0]], QueryMode::Sparse, &mut ctx);
+        let a2 = r.query_terms_with(&[0xFFFF], QueryMode::Full, &mut ctx);
+        let b2 = r.query_terms_with(&[contents[0][0]], QueryMode::Sparse, &mut ctx);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn resolve_names_maps_ids() {
+        let (r, _) = build(3, 5, 10);
+        let hits = r.query_u64(0xFFFF);
+        let names = r.resolve_names(&hits);
+        assert_eq!(names, vec!["doc0", "doc1", "doc2"]);
+    }
+
+    #[test]
+    fn theta_query_tolerates_missing_terms() {
+        let (r, contents) = build(20, 40, 12);
+        let mut ctx = QueryContext::new();
+        // Query doc 5's terms plus two absent terms: strict intersection
+        // fails, θ = 0.7 still finds the owner.
+        let mut q: Vec<u64> = contents[5][..8].to_vec();
+        q.push(0xDEAD_0000_0001);
+        q.push(0xDEAD_0000_0002);
+        let strict = r.query_sequence_u64(&q, QueryMode::Full);
+        assert!(strict.is_empty(), "absent terms must break strict AND");
+        let theta = r.query_sequence_theta(&q, 0.7, QueryMode::Full, &mut ctx);
+        assert!(theta.contains(&5), "theta query must recover the owner");
+        // θ = 1 equals the strict conjunction semantics on per-term results.
+        let theta1 = r.query_sequence_theta(&q, 1.0, QueryMode::Full, &mut ctx);
+        assert_eq!(theta1, strict);
+    }
+
+    #[test]
+    fn theta_query_early_exit_on_hopeless_queries() {
+        let (r, _) = build(10, 20, 13);
+        let mut ctx = QueryContext::new();
+        let absent: Vec<u64> = (0..10).map(|i| 0xBBBB_0000_0000u64 + i).collect();
+        let hits = r.query_sequence_theta(&absent, 0.9, QueryMode::Sparse, &mut ctx);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_ids_basic() {
+        assert_eq!(intersect_sorted_ids(&[1, 3, 5], &[3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted_ids(&[], &[1]), Vec::<DocId>::new());
+    }
+}

@@ -1,0 +1,295 @@
+//! Binary serialization of a RAMBO index.
+//!
+//! The paper's workflow writes indexes to disk after construction (the 170TB
+//! build produces a 1.8TB serialized index; fold-over derives smaller
+//! versions offline). The format here is self-describing and validated:
+//!
+//! ```text
+//! magic "RMB1" | version u16
+//! partition tag u8 (+ fields) | repetitions u32 | bfu_bits u64 | eta u32 | seed u64
+//! fold_factor u32 | inserts u64 | K u32
+//! K × (name_len u32, utf8 bytes)
+//! R × ( K × assign u32, BFU matrix )
+//! ```
+//!
+//! Bucket lists and the name lookup table are reconstructed from `assign` on
+//! load; the resolver is re-derived from the seed (all hash functions are
+//! deterministic in it).
+
+use crate::error::RamboError;
+use crate::index::{DocId, Rambo};
+use crate::params::RamboParams;
+use crate::partition::{derive_seeds, PartitionScheme, Resolver};
+use crate::matrix::BfuMatrix;
+use bytes::{Buf, BufMut};
+use rambo_bitvec::DecodeError;
+
+const MAGIC: &[u8; 4] = b"RMB1";
+const VERSION: u16 = 1;
+
+fn short(buf: &[u8], need: usize, what: &str) -> Result<(), RamboError> {
+    if buf.remaining() < need {
+        return Err(DecodeError::new(format!("truncated while reading {what}")).into());
+    }
+    Ok(())
+}
+
+impl Rambo {
+    /// Serialize the full index.
+    ///
+    /// # Errors
+    /// [`RamboError::InvalidParams`] for node-local shards of a sharded
+    /// build (stack them first — a shard alone has no global identity).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, RamboError> {
+        if matches!(self.resolver, Resolver::NodeLocal { .. }) {
+            return Err(RamboError::InvalidParams(
+                "node-local shards cannot be serialized; stack the sharded build first".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(64 + self.size_bytes());
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        match self.params().partition {
+            PartitionScheme::Flat { buckets } => {
+                out.put_u8(0);
+                out.put_u64_le(buckets);
+                out.put_u64_le(0);
+            }
+            PartitionScheme::TwoLevel {
+                nodes,
+                local_buckets,
+            } => {
+                out.put_u8(1);
+                out.put_u64_le(nodes);
+                out.put_u64_le(local_buckets);
+            }
+        }
+        out.put_u32_le(self.params().repetitions as u32);
+        out.put_u64_le(self.params().bfu_bits as u64);
+        out.put_u32_le(self.params().eta);
+        out.put_u64_le(self.params().seed);
+        out.put_u32_le(self.fold_factor);
+        out.put_u64_le(self.inserts);
+        out.put_u32_le(self.doc_names.len() as u32);
+        for name in &self.doc_names {
+            out.put_u32_le(name.len() as u32);
+            out.put_slice(name.as_bytes());
+        }
+        for table in &self.tables {
+            for &a in &table.assign {
+                out.put_u32_le(a);
+            }
+            table.matrix.encode_into(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// Deserialize an index, validating structure and ranges.
+    ///
+    /// # Errors
+    /// [`RamboError::Decode`] on any malformed input.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, RamboError> {
+        let buf = &mut buf;
+        short(buf, 6, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::new("bad RAMBO magic").into());
+        }
+        if buf.get_u16_le() != VERSION {
+            return Err(DecodeError::new("unsupported RAMBO version").into());
+        }
+        short(buf, 1 + 8 + 8 + 4 + 8 + 4 + 4 + 8 + 4, "geometry")?;
+        let partition = match buf.get_u8() {
+            0 => {
+                let buckets = buf.get_u64_le();
+                let _ = buf.get_u64_le();
+                PartitionScheme::Flat { buckets }
+            }
+            1 => PartitionScheme::TwoLevel {
+                nodes: buf.get_u64_le(),
+                local_buckets: buf.get_u64_le(),
+            },
+            t => return Err(DecodeError::new(format!("unknown partition tag {t}")).into()),
+        };
+        let repetitions = buf.get_u32_le() as usize;
+        let bfu_bits = usize::try_from(buf.get_u64_le())
+            .map_err(|_| DecodeError::new("bfu_bits exceeds address space"))?;
+        let eta = buf.get_u32_le();
+        let seed = buf.get_u64_le();
+        let fold_factor = buf.get_u32_le();
+        let inserts = buf.get_u64_le();
+        let params = RamboParams {
+            partition,
+            repetitions,
+            bfu_bits,
+            eta,
+            seed,
+        };
+        params.validate().map_err(|e| {
+            RamboError::Decode(DecodeError::new(format!("stored parameters invalid: {e}")))
+        })?;
+        let b0 = params.buckets();
+        if fold_factor > 32 || (b0 >> fold_factor) < 2 {
+            return Err(DecodeError::new("fold factor inconsistent with bucket count").into());
+        }
+        let current_buckets = b0 >> fold_factor;
+
+        let k = buf.get_u32_le() as usize;
+        let mut doc_names = Vec::with_capacity(k.min(1 << 20));
+        for _ in 0..k {
+            short(buf, 4, "name length")?;
+            let len = buf.get_u32_le() as usize;
+            short(buf, len, "name bytes")?;
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            let name = String::from_utf8(bytes)
+                .map_err(|_| DecodeError::new("document name is not UTF-8"))?;
+            doc_names.push(name);
+        }
+
+        let seeds = derive_seeds(seed);
+        let mut index = Self::from_parts(
+            params,
+            Resolver::new(partition, repetitions, seeds.partition),
+            seeds.bloom,
+        );
+        // Apply the recorded fold level to the freshly built geometry.
+        index.current_buckets = current_buckets;
+        index.fold_factor = fold_factor;
+        index.inserts = inserts;
+        for table in &mut index.tables {
+            *table = crate::index::Table::new(current_buckets as usize, bfu_bits);
+        }
+
+        for table in &mut index.tables {
+            short(buf, 4 * k, "assignment vector")?;
+            table.assign = (0..k).map(|_| buf.get_u32_le()).collect();
+            for (doc, &a) in table.assign.iter().enumerate() {
+                if u64::from(a) >= current_buckets {
+                    return Err(DecodeError::new(format!(
+                        "assignment {a} of doc {doc} out of range {current_buckets}"
+                    ))
+                    .into());
+                }
+                table.buckets[a as usize].push(doc as DocId);
+            }
+            let matrix = BfuMatrix::decode_from(buf)?;
+            if matrix.m_bits() != bfu_bits || matrix.buckets() as u64 != current_buckets {
+                return Err(DecodeError::new("stored matrix geometry disagrees with header").into());
+            }
+            table.matrix = matrix;
+        }
+        let _ = eta;
+        if !buf.is_empty() {
+            return Err(DecodeError::new("trailing bytes after RAMBO index").into());
+        }
+        for (id, name) in doc_names.iter().enumerate() {
+            if index
+                .name_index
+                .insert(name.clone(), id as DocId)
+                .is_some()
+            {
+                return Err(DecodeError::new(format!("duplicate document name {name}")).into());
+            }
+        }
+        index.doc_names = doc_names;
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_sample() -> Rambo {
+        let mut r = Rambo::new(RamboParams::flat(8, 3, 1 << 12, 2, 77)).unwrap();
+        for d in 0..20 {
+            let base = (d as u64) << 16;
+            r.insert_document(&format!("doc{d}"), (0..30u64).map(|t| base | t))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let r = build_sample();
+        let bytes = r.to_bytes().unwrap();
+        let back = Rambo::from_bytes(&bytes).unwrap();
+        assert_eq!(r, back);
+        // Queries agree, including for absent terms.
+        for t in [0u64, 5, (3 << 16) | 2, 0xDEAD] {
+            assert_eq!(r.query_u64(t), back.query_u64(t));
+        }
+    }
+
+    #[test]
+    fn roundtrip_after_folding() {
+        let mut r = build_sample();
+        r.fold_once().unwrap();
+        let back = Rambo::from_bytes(&r.to_bytes().unwrap()).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.fold_factor(), 1);
+        assert_eq!(back.buckets(), 4);
+    }
+
+    #[test]
+    fn loaded_index_accepts_new_documents() {
+        let r = build_sample();
+        let mut back = Rambo::from_bytes(&r.to_bytes().unwrap()).unwrap();
+        let d = back.insert_document("new-doc", [0xCAFEu64]).unwrap();
+        assert!(back.query_u64(0xCAFE).contains(&d));
+        // The resolver was re-derived from the seed: the same name must land
+        // in the same buckets as in the original index.
+        let mut orig = r.clone();
+        let d2 = orig.insert_document("new-doc", [0xCAFEu64]).unwrap();
+        for rep in 0..3 {
+            assert_eq!(orig.bucket_of(rep, d2), back.bucket_of(rep, d));
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let r = build_sample();
+        let bytes = r.to_bytes().unwrap();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Rambo::from_bytes(&bad).is_err());
+
+        assert!(Rambo::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Rambo::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_assignment() {
+        let r = build_sample();
+        let mut bytes = r.to_bytes().unwrap();
+        // The first assign word sits right after the names section; find it
+        // by re-encoding a modified struct instead of byte surgery: flip an
+        // assignment directly in a clone and ensure validation catches it.
+        // (Byte-offset surgery would be brittle; we corrupt the u32 that
+        // follows the last name, which is the first assignment.)
+        let names_len: usize = r
+            .document_names()
+            .iter()
+            .map(|n| 4 + n.len())
+            .sum::<usize>();
+        let offset = 4 + 2 + 17 + 4 + 8 + 4 + 8 + 4 + 8 + 4 + names_len;
+        bytes[offset] = 0xFF; // assignment 0xFF ≥ 8 buckets
+        assert!(Rambo::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn two_level_roundtrip() {
+        let mut r = Rambo::new(RamboParams::two_level(4, 4, 2, 1 << 10, 2, 5)).unwrap();
+        r.insert_document("a", [1u64, 2]).unwrap();
+        r.insert_document("b", [3u64]).unwrap();
+        let back = Rambo::from_bytes(&r.to_bytes().unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+}

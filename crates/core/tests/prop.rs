@@ -1,0 +1,164 @@
+//! Property-based tests for the RAMBO index invariants.
+//!
+//! These pin the paper's §4 claims under randomized workloads:
+//! zero false negatives (always), RAMBO+ ≡ RAMBO (sparse evaluation is an
+//! optimization, not an approximation), fold-over soundness, and the
+//! losslessness of sharded construction.
+
+use proptest::prelude::*;
+use rambo_core::{build_sharded_parallel, QueryMode, Rambo, RamboParams};
+
+/// A random archive: documents with disjoint private terms plus a shared
+/// pool so multiplicity V > 1 occurs.
+#[derive(Debug, Clone)]
+struct Archive {
+    docs: Vec<(String, Vec<u64>)>,
+}
+
+fn archive_strategy(max_docs: usize) -> impl Strategy<Value = Archive> {
+    (2..max_docs, 1usize..40, 0usize..10).prop_map(|(k, private, shared)| {
+        let docs = (0..k)
+            .map(|d| {
+                let base = (d as u64) << 32;
+                let mut terms: Vec<u64> = (0..private as u64).map(|t| base | t).collect();
+                // Shared terms drawn from a small pool → realistic V.
+                terms.extend((0..shared as u64).map(|s| 0xABCD_0000 + (s % 5)));
+                terms.dedup();
+                (format!("doc-{d}"), terms)
+            })
+            .collect();
+        Archive { docs }
+    })
+}
+
+fn build(params: RamboParams, archive: &Archive) -> Rambo {
+    let mut r = Rambo::new(params).unwrap();
+    for (name, terms) in &archive.docs {
+        r.insert_document(name, terms.iter().copied()).unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §4.1: "RAMBO cannot report false negatives" — for any geometry and
+    /// any archive, every document is returned for every term it contains.
+    #[test]
+    fn zero_false_negatives(
+        archive in archive_strategy(20),
+        b in 2u64..20,
+        r in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let idx = build(RamboParams::flat(b, r, 1 << 12, 2, seed), &archive);
+        for (d, (_, terms)) in archive.docs.iter().enumerate() {
+            for &t in terms {
+                prop_assert!(
+                    idx.query_u64(t).contains(&(d as u32)),
+                    "doc {d} missing for term {t:#x} (B={b}, R={r})"
+                );
+            }
+        }
+    }
+
+    /// RAMBO+ sparse evaluation returns exactly the full evaluation's result.
+    #[test]
+    fn sparse_equals_full(
+        archive in archive_strategy(16),
+        b in 2u64..16,
+        r in 1usize..5,
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let idx = build(RamboParams::flat(b, r, 1 << 11, 2, seed), &archive);
+        // Mix of absent terms (random u64s) and present terms.
+        let mut all_probes = probes;
+        all_probes.extend(archive.docs.iter().flat_map(|(_, ts)| ts.iter().take(2).copied()));
+        for t in all_probes {
+            prop_assert_eq!(
+                idx.query_terms_u64(&[t], QueryMode::Full),
+                idx.query_terms_u64(&[t], QueryMode::Sparse),
+                "modes disagree on {:#x}", t
+            );
+        }
+    }
+
+    /// Folding never loses a document (no false negatives survive folding)
+    /// and result sets only grow (false positives may be added, never
+    /// removed).
+    #[test]
+    fn folding_is_monotone(
+        archive in archive_strategy(14),
+        seed in any::<u64>(),
+    ) {
+        let idx = build(RamboParams::flat(16, 2, 1 << 12, 2, seed), &archive);
+        let folded = idx.folded(2).unwrap();
+        prop_assert_eq!(folded.buckets(), 4);
+        for (_, terms) in &archive.docs {
+            for &t in terms.iter().take(3) {
+                let before = idx.query_u64(t);
+                let after = folded.query_u64(t);
+                for d in &before {
+                    prop_assert!(after.contains(d), "fold dropped doc {d} for {t:#x}");
+                }
+            }
+        }
+    }
+
+    /// Sharded build + stack ≡ monolithic build with the same seed, at the
+    /// level of query answers (name sets), for any node layout.
+    #[test]
+    fn sharded_stack_answers_match_monolithic(
+        archive in archive_strategy(14),
+        nodes in 2u64..5,
+        local_b in 2u64..5,
+        seed in any::<u64>(),
+    ) {
+        let params = RamboParams::two_level(nodes, local_b, 2, 1 << 11, 2, seed);
+        let stacked = build_sharded_parallel(params, archive.docs.clone()).unwrap();
+        let mono = build(params, &archive);
+        for (_, terms) in &archive.docs {
+            for &t in terms.iter().take(2) {
+                let mut a: Vec<&str> = stacked.resolve_names(&stacked.query_u64(t));
+                let mut b: Vec<&str> = mono.resolve_names(&mono.query_u64(t));
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "answers diverge on {:#x}", t);
+            }
+        }
+    }
+
+    /// Serialization roundtrips the exact structure for random archives and
+    /// fold levels.
+    #[test]
+    fn serialization_roundtrip(
+        archive in archive_strategy(12),
+        folds in 0u32..2,
+        seed in any::<u64>(),
+    ) {
+        let mut idx = build(RamboParams::flat(8, 2, 1 << 10, 2, seed), &archive);
+        idx.fold_times(folds).unwrap();
+        let back = Rambo::from_bytes(&idx.to_bytes().unwrap()).unwrap();
+        prop_assert_eq!(idx, back);
+    }
+
+    /// Multi-term queries (Algorithm 2 semantics) always contain every
+    /// document holding *all* the queried terms.
+    #[test]
+    fn multi_term_no_false_negatives(
+        archive in archive_strategy(12),
+        seed in any::<u64>(),
+    ) {
+        let idx = build(RamboParams::flat(8, 3, 1 << 12, 2, seed), &archive);
+        for (d, (_, terms)) in archive.docs.iter().enumerate() {
+            let q: Vec<u64> = terms.iter().take(4).copied().collect();
+            let joint = idx.query_terms_u64(&q, QueryMode::Full);
+            prop_assert!(joint.contains(&(d as u32)));
+            let seq = idx.query_sequence_u64(&q, QueryMode::Full);
+            prop_assert!(seq.contains(&(d as u32)));
+            // Algorithm-2 semantics at least as selective as term-at-a-time.
+            prop_assert!(joint.iter().all(|x| seq.contains(x)));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! FNV-1a: a tiny byte-stream hash used where speed matters more than
+//! statistical perfection (e.g. pre-bucketing strings before a stronger hash).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `data`.
+///
+/// ```
+/// use rambo_hash::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+/// ```
+#[inline]
+#[must_use]
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Official FNV test vectors (Landon Curt Noll's table).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_on_short_strings() {
+        let words = ["AC", "CA", "GT", "TG", "ACG", "GCA"];
+        let mut seen = std::collections::HashSet::new();
+        for w in words {
+            assert!(seen.insert(fnv1a64(w.as_bytes())), "collision on {w}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! 2-bit DNA encoding and packed-k-mer arithmetic.
+//!
+//! Nucleotides map to `A=0, C=1, G=2, T=3`. A k-mer (k ≤ 31) packs into the
+//! low `2k` bits of a `u64` with the **first** base in the most significant
+//! position, so the rolling-window update used by [`crate::KmerIter`] is
+//! `kmer = ((kmer << 2) | code) & mask`.
+//!
+//! The complement permutation is `code ^ 0b11` (A↔T, C↔G), which makes the
+//! reverse complement of a packed k-mer a bit-reversal-by-pairs plus an XOR —
+//! branch-free and allocation-free.
+
+use crate::MAX_K;
+
+/// Encode one nucleotide (case-insensitive). Returns `None` for anything
+/// outside `ACGTacgt` (e.g. the `N` ambiguity code), which k-mer extraction
+/// treats as a window break — the same convention as the McCortex tooling.
+#[inline]
+#[must_use]
+pub const fn encode_base(b: u8) -> Option<u8> {
+    match b {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Decode a 2-bit code back to an uppercase nucleotide.
+///
+/// # Panics
+/// Panics if `code > 3`.
+#[inline]
+#[must_use]
+pub const fn decode_base(code: u8) -> u8 {
+    match code {
+        0 => b'A',
+        1 => b'C',
+        2 => b'G',
+        3 => b'T',
+        _ => panic!("invalid 2-bit base code"),
+    }
+}
+
+/// Mask selecting the low `2k` bits.
+#[inline]
+#[must_use]
+pub const fn kmer_mask(k: usize) -> u64 {
+    if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    }
+}
+
+/// Pack an exact-length k-mer. Returns `None` if the slice contains a
+/// non-ACGT byte.
+///
+/// # Panics
+/// Panics if `seq.len() > MAX_K` (31) or is zero.
+#[must_use]
+pub fn pack_kmer(seq: &[u8]) -> Option<u64> {
+    assert!(
+        (1..=MAX_K).contains(&seq.len()),
+        "k must be in 1..={MAX_K}, got {}",
+        seq.len()
+    );
+    let mut kmer = 0u64;
+    for &b in seq {
+        kmer = (kmer << 2) | u64::from(encode_base(b)?);
+    }
+    Some(kmer)
+}
+
+/// Unpack a k-mer into its ASCII sequence.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds [`MAX_K`].
+#[must_use]
+pub fn unpack_kmer(kmer: u64, k: usize) -> Vec<u8> {
+    assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
+    let mut out = vec![0u8; k];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let shift = 2 * (k - 1 - i);
+        *slot = decode_base(((kmer >> shift) & 0b11) as u8);
+    }
+    out
+}
+
+/// Reverse complement of a packed k-mer.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds [`MAX_K`].
+#[inline]
+#[must_use]
+pub fn revcomp_kmer(kmer: u64, k: usize) -> u64 {
+    assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
+    // Complement every base: code ^ 0b11 for all 32 slots at once.
+    let mut x = !kmer;
+    // Reverse the order of the 32 2-bit groups.
+    x = ((x >> 2) & 0x3333_3333_3333_3333) | ((x & 0x3333_3333_3333_3333) << 2);
+    x = ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F) | ((x & 0x0F0F_0F0F_0F0F_0F0F) << 4);
+    x = x.swap_bytes();
+    // The k meaningful groups now sit in the high bits; shift them down.
+    x >> (64 - 2 * k)
+}
+
+/// Canonical form: the lexicographically smaller of a k-mer and its reverse
+/// complement. Strand-independent indexes (the common genomics convention)
+/// insert canonical k-mers so a query hits regardless of read orientation.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds [`MAX_K`].
+#[inline]
+#[must_use]
+pub fn canonical_kmer(kmer: u64, k: usize) -> u64 {
+    kmer.min(revcomp_kmer(kmer, k))
+}
+
+/// Reverse complement of an ASCII sequence; non-ACGT bytes map to `N`.
+#[must_use]
+pub fn revcomp_seq(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|&b| match b {
+            b'A' | b'a' => b'T',
+            b'C' | b'c' => b'G',
+            b'G' | b'g' => b'C',
+            b'T' | b't' => b'A',
+            _ => b'N',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_codec_roundtrip() {
+        for b in [b'A', b'C', b'G', b'T'] {
+            assert_eq!(decode_base(encode_base(b).unwrap()), b);
+        }
+        assert_eq!(encode_base(b'a'), Some(0));
+        assert_eq!(encode_base(b't'), Some(3));
+        assert_eq!(encode_base(b'N'), None);
+        assert_eq!(encode_base(b'X'), None);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let cases: [&[u8]; 4] = [b"A", b"ACGT", b"TTTTTTTTTT", b"GATTACAGATTACAGATTACAGATTACAGAT"];
+        for seq in cases {
+            let packed = pack_kmer(seq).unwrap();
+            assert_eq!(unpack_kmer(packed, seq.len()), seq, "{:?}", seq);
+        }
+    }
+
+    #[test]
+    fn pack_rejects_ambiguous() {
+        assert_eq!(pack_kmer(b"ACGNT"), None);
+    }
+
+    #[test]
+    fn packing_convention_first_base_most_significant() {
+        // "AC" → A=00, C=01 → 0b0001.
+        assert_eq!(pack_kmer(b"AC").unwrap(), 0b0001);
+        assert_eq!(pack_kmer(b"CA").unwrap(), 0b0100);
+        assert_eq!(pack_kmer(b"T").unwrap(), 0b11);
+    }
+
+    #[test]
+    fn revcomp_known_values() {
+        // revcomp("ACGT") = "ACGT" (palindrome).
+        let k = pack_kmer(b"ACGT").unwrap();
+        assert_eq!(revcomp_kmer(k, 4), k);
+        // revcomp("AACC") = "GGTT".
+        let k = pack_kmer(b"AACC").unwrap();
+        assert_eq!(unpack_kmer(revcomp_kmer(k, 4), 4), b"GGTT");
+        // Full-length 31-mer against the string-level implementation.
+        let seq = b"GATTACAGATTACAGATTACAGATTACAGAT";
+        let packed = pack_kmer(seq).unwrap();
+        assert_eq!(
+            unpack_kmer(revcomp_kmer(packed, 31), 31),
+            revcomp_seq(seq)
+        );
+    }
+
+    #[test]
+    fn revcomp_is_involution() {
+        for k in [1usize, 2, 5, 16, 31] {
+            let mut x = 0x0123_4567_89AB_CDEFu64 & kmer_mask(k);
+            for _ in 0..3 {
+                assert_eq!(revcomp_kmer(revcomp_kmer(x, k), k), x, "k={k}");
+                x = x.rotate_left(7) & kmer_mask(k);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_strand_invariant() {
+        for seed in 0..200u64 {
+            let k = 31;
+            let kmer = rambo_hash::mix64(seed) & kmer_mask(k);
+            let rc = revcomp_kmer(kmer, k);
+            assert_eq!(canonical_kmer(kmer, k), canonical_kmer(rc, k));
+            assert!(canonical_kmer(kmer, k) <= kmer);
+        }
+    }
+
+    #[test]
+    fn revcomp_seq_handles_ambiguity() {
+        assert_eq!(revcomp_seq(b"ACGTN"), b"NACGT");
+        assert_eq!(revcomp_seq(b"acgt"), b"ACGT".to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=")]
+    fn pack_rejects_oversized() {
+        let _ = pack_kmer(&[b'A'; 32]);
+    }
+}

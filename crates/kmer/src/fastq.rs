@@ -1,0 +1,204 @@
+//! Minimal streaming FASTQ parser and writer (Cock et al., reference [14] of
+//! the paper — the Sanger variant with phred+33 quality scores).
+//!
+//! FASTQ is the paper's "raw, unfiltered sequence reads" format. Records are
+//! strictly four lines: `@id`, sequence, `+`[optional id], quality string of
+//! equal length.
+
+use std::io::{self, BufRead, Write};
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read identifier (text after `@`).
+    pub id: String,
+    /// Sequence bytes.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality bytes, same length as `seq`.
+    pub qual: Vec<u8>,
+}
+
+/// Streaming reader yielding [`FastqRecord`]s.
+pub struct FastqReader<R: BufRead> {
+    input: R,
+    line: String,
+    done: bool,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            line: String::new(),
+            done: false,
+        }
+    }
+
+    fn read_trimmed(&mut self) -> io::Result<Option<String>> {
+        loop {
+            self.line.clear();
+            if self.input.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            let t = self.line.trim_end();
+            if !t.is_empty() {
+                return Ok(Some(t.to_string()));
+            }
+        }
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = io::Result<FastqRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let header = match self.read_trimmed() {
+            Ok(None) => return None,
+            Ok(Some(h)) => h,
+            Err(e) => return Some(Err(e)),
+        };
+        let result = (|| {
+            let id = header
+                .strip_prefix('@')
+                .ok_or_else(|| invalid("FASTQ header must start with '@'"))?
+                .to_string();
+            let seq = self
+                .read_trimmed()?
+                .ok_or_else(|| invalid("unexpected EOF before sequence line"))?;
+            let plus = self
+                .read_trimmed()?
+                .ok_or_else(|| invalid("unexpected EOF before '+' line"))?;
+            if !plus.starts_with('+') {
+                return Err(invalid("FASTQ separator line must start with '+'"));
+            }
+            let qual = self
+                .read_trimmed()?
+                .ok_or_else(|| invalid("unexpected EOF before quality line"))?;
+            if qual.len() != seq.len() {
+                return Err(invalid("quality length differs from sequence length"));
+            }
+            Ok(FastqRecord {
+                id,
+                seq: seq.into_bytes(),
+                qual: qual.into_bytes(),
+            })
+        })();
+        if result.is_err() {
+            self.done = true;
+        }
+        Some(result)
+    }
+}
+
+/// Write records in 4-line FASTQ format.
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer, and rejects records
+/// whose quality length disagrees with the sequence length.
+pub fn write_fastq<'a, W: Write>(
+    mut out: W,
+    records: impl IntoIterator<Item = &'a FastqRecord>,
+) -> io::Result<()> {
+    for rec in records {
+        if rec.qual.len() != rec.seq.len() {
+            return Err(invalid("quality length differs from sequence length"));
+        }
+        writeln!(out, "@{}", rec.id)?;
+        out.write_all(&rec.seq)?;
+        out.write_all(b"\n+\n")?;
+        out.write_all(&rec.qual)?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> io::Result<Vec<FastqRecord>> {
+        FastqReader::new(Cursor::new(text)).collect()
+    }
+
+    #[test]
+    fn single_record() {
+        let recs = parse("@read1\nACGT\n+\nIIII\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, "read1");
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[0].qual, b"IIII");
+    }
+
+    #[test]
+    fn plus_line_with_repeated_id() {
+        let recs = parse("@r\nAC\n+r\n!!\n").unwrap();
+        assert_eq!(recs[0].seq, b"AC");
+    }
+
+    #[test]
+    fn multiple_records() {
+        let recs = parse("@a\nA\n+\nI\n@b\nCC\n+\nII\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].id, "b");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse("read-without-at\nAC\n+\nII\n").is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert!(parse("@r\nACGT\n+\nII\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(parse("@r\nACGT\n+\n").is_err());
+        assert!(parse("@r\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let original = vec![
+            FastqRecord {
+                id: "x/1".into(),
+                seq: b"ACGTACGT".to_vec(),
+                qual: b"IIIIHHHH".to_vec(),
+            },
+            FastqRecord {
+                id: "y/2".into(),
+                seq: b"TT".to_vec(),
+                qual: b"##".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &original).unwrap();
+        let parsed = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn writer_rejects_inconsistent_record() {
+        let bad = FastqRecord {
+            id: "bad".into(),
+            seq: b"ACGT".to_vec(),
+            qual: b"II".to_vec(),
+        };
+        assert!(write_fastq(Vec::new(), [&bad]).is_err());
+    }
+}

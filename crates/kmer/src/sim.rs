@@ -1,0 +1,203 @@
+//! Sequencing simulator: the stand-in for the paper's 170TB ENA archive.
+//!
+//! The index algorithms only ever observe *sets of k-mers*; the data
+//! properties they are sensitive to are (a) per-document cardinality, (b)
+//! inter-document overlap (the multiplicity `V` in Lemmas 4.1/4.2), and (c)
+//! error noise in raw reads (why FASTQ ingestion is slower and bigger than
+//! McCortex, Table 2). This module reproduces all three:
+//!
+//! * [`GenomeSimulator::random_genome`] — i.i.d. uniform base genomes;
+//! * [`GenomeSimulator::mutate`] / [`GenomeSimulator::derive_family`] —
+//!   shared-ancestry copies with point mutations, giving documents the kind
+//!   of k-mer overlap real microbial strains have;
+//! * [`GenomeSimulator::simulate_reads`] — fixed-length reads at a target
+//!   coverage with per-base substitution errors and phred-style qualities,
+//!   i.e. synthetic FASTQ.
+
+use crate::fastq::FastqRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Deterministic genome & read generator.
+pub struct GenomeSimulator {
+    rng: StdRng,
+}
+
+impl GenomeSimulator {
+    /// Create a simulator; identical seeds replay identical archives.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform random genome of `len` bases.
+    pub fn random_genome(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| BASES[self.rng.gen_range(0..4)]).collect()
+    }
+
+    /// Copy `seq` with i.i.d. point substitutions at `rate` (each mutated
+    /// base is redrawn among the three alternatives).
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ rate ≤ 1`.
+    pub fn mutate(&mut self, seq: &[u8], rate: f64) -> Vec<u8> {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        seq.iter()
+            .map(|&b| {
+                if self.rng.gen_bool(rate) {
+                    // Substitute with one of the three *other* bases.
+                    let current = BASES.iter().position(|&x| x == b).unwrap_or(0);
+                    BASES[(current + self.rng.gen_range(1..4)) % 4]
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+
+    /// Derive `children` genomes from one ancestor by independent mutation —
+    /// a one-level star phylogeny. Children share ≈`(1−rate)^k` of their
+    /// k-mers with the ancestor and with each other, which is how the
+    /// synthetic archives obtain realistic term multiplicities.
+    pub fn derive_family(&mut self, ancestor: &[u8], children: usize, rate: f64) -> Vec<Vec<u8>> {
+        (0..children).map(|_| self.mutate(ancestor, rate)).collect()
+    }
+
+    /// Shotgun reads: `⌈coverage · len / read_len⌉` reads of `read_len`
+    /// bases drawn uniformly over the genome, with per-base substitution
+    /// errors at `error_rate` and a quality string reflecting the error rate
+    /// (constant phred score, Sanger +33 encoding).
+    ///
+    /// # Panics
+    /// Panics if `read_len` is zero or longer than the genome.
+    pub fn simulate_reads(
+        &mut self,
+        genome: &[u8],
+        read_len: usize,
+        coverage: f64,
+        error_rate: f64,
+    ) -> Vec<FastqRecord> {
+        assert!(read_len > 0 && read_len <= genome.len());
+        let n_reads = ((coverage * genome.len() as f64) / read_len as f64).ceil() as usize;
+        let phred = if error_rate > 0.0 {
+            (-10.0 * error_rate.log10()).round().clamp(2.0, 41.0) as u8
+        } else {
+            41
+        };
+        let qual_char = b'!' + phred;
+        (0..n_reads)
+            .map(|i| {
+                let start = self.rng.gen_range(0..=genome.len() - read_len);
+                let seq = self.mutate(&genome[start..start + read_len], error_rate);
+                FastqRecord {
+                    id: format!("read-{i} pos={start}"),
+                    qual: vec![qual_char; seq.len()],
+                    seq,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genomes_are_deterministic_per_seed() {
+        let g1 = GenomeSimulator::new(7).random_genome(500);
+        let g2 = GenomeSimulator::new(7).random_genome(500);
+        let g3 = GenomeSimulator::new(8).random_genome(500);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, g3);
+        assert!(g1.iter().all(|b| BASES.contains(b)));
+    }
+
+    #[test]
+    fn base_composition_roughly_uniform() {
+        let g = GenomeSimulator::new(1).random_genome(40_000);
+        for &b in &BASES {
+            let frac = g.iter().filter(|&&x| x == b).count() as f64 / g.len() as f64;
+            assert!((0.22..0.28).contains(&frac), "base {b} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn mutation_rate_is_respected() {
+        let mut sim = GenomeSimulator::new(2);
+        let g = sim.random_genome(50_000);
+        let m = sim.mutate(&g, 0.05);
+        assert_eq!(g.len(), m.len());
+        let diffs = g.iter().zip(&m).filter(|(a, b)| a != b).count();
+        let rate = diffs as f64 / g.len() as f64;
+        assert!((0.04..0.06).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let mut sim = GenomeSimulator::new(3);
+        let g = sim.random_genome(1000);
+        assert_eq!(sim.mutate(&g, 0.0), g);
+    }
+
+    #[test]
+    fn family_members_share_kmers_with_ancestor() {
+        use crate::cortex::KmerSet;
+        let mut sim = GenomeSimulator::new(4);
+        let anc = sim.random_genome(5000);
+        let kids = sim.derive_family(&anc, 3, 0.01);
+        let anc_set = KmerSet::from_sequence(&anc, 15, false);
+        for kid in &kids {
+            let kid_set = KmerSet::from_sequence(kid, 15, false);
+            let shared = kid_set
+                .kmers()
+                .iter()
+                .filter(|&&k| anc_set.contains(k))
+                .count();
+            let frac = shared as f64 / kid_set.len() as f64;
+            // (1 - 0.01)^15 ≈ 0.86 expected overlap.
+            assert!(frac > 0.7, "overlap only {frac}");
+        }
+    }
+
+    #[test]
+    fn reads_cover_genome_at_requested_depth() {
+        let mut sim = GenomeSimulator::new(5);
+        let g = sim.random_genome(2000);
+        let reads = sim.simulate_reads(&g, 100, 10.0, 0.0);
+        assert_eq!(reads.len(), 200); // 10x * 2000 / 100
+        for r in &reads {
+            assert_eq!(r.seq.len(), 100);
+            assert_eq!(r.qual.len(), 100);
+            // Error-free reads must be exact substrings.
+            let pos: usize = r.id.split("pos=").nth(1).unwrap().parse().unwrap();
+            assert_eq!(&g[pos..pos + 100], &r.seq[..]);
+        }
+    }
+
+    #[test]
+    fn read_errors_inject_noise() {
+        let mut sim = GenomeSimulator::new(6);
+        let g = sim.random_genome(5000);
+        let reads = sim.simulate_reads(&g, 100, 5.0, 0.02);
+        let mut diffs = 0usize;
+        let mut total = 0usize;
+        for r in &reads {
+            let pos: usize = r.id.split("pos=").nth(1).unwrap().parse().unwrap();
+            diffs += g[pos..pos + 100]
+                .iter()
+                .zip(&r.seq)
+                .filter(|(a, b)| a != b)
+                .count();
+            total += 100;
+        }
+        let rate = diffs as f64 / total as f64;
+        assert!((0.012..0.03).contains(&rate), "observed error rate {rate}");
+        // Phred for 2% error ≈ 17 → '2'.
+        assert_eq!(reads[0].qual[0], b'!' + 17);
+    }
+}

@@ -1,0 +1,224 @@
+//! Zipf-distributed synthetic corpora calibrated to the paper's §5.4
+//! datasets.
+//!
+//! Natural-language term frequencies follow Zipf's law; what the index
+//! structures care about is (a) the number of *distinct* terms per document
+//! and (b) the document-frequency distribution of terms (how many documents
+//! a term appears in — the multiplicity `V` of the analysis). Sampling each
+//! document's terms i.i.d. from a Zipf(s) vocabulary reproduces both: head
+//! terms land in nearly every document (high V), tail terms are unique to
+//! one (V = 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusParams {
+    /// Number of documents (`K`).
+    pub docs: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Zipf exponent (1.0 ≈ natural text).
+    pub exponent: f64,
+    /// Mean distinct terms per document (paper: ~650 Wiki, ~450 ClueWeb).
+    pub mean_terms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusParams {
+    /// Parameters mimicking the paper's Wiki-dump sample (§5.4), scaled by
+    /// `scale` (1.0 = the paper's 17,618 documents).
+    #[must_use]
+    pub fn wiki(scale: f64, seed: u64) -> Self {
+        Self {
+            docs: ((17_618.0 * scale) as usize).max(1),
+            vocab: 200_000,
+            exponent: 1.05,
+            mean_terms: 650,
+            seed,
+        }
+    }
+
+    /// Parameters mimicking the ClueWeb09 Category-B sample (§5.4).
+    #[must_use]
+    pub fn clueweb(scale: f64, seed: u64) -> Self {
+        Self {
+            docs: ((50_000.0 * scale) as usize).max(1),
+            vocab: 400_000,
+            exponent: 1.05,
+            mean_terms: 450,
+            seed,
+        }
+    }
+}
+
+/// One synthetic document: a name and its distinct term set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Stable document name (used as the RAMBO partition identity).
+    pub name: String,
+    /// Distinct term ids, sorted ascending. Term id `t` corresponds to the
+    /// vocabulary word `word-t`; ids are what the indexes consume.
+    pub terms: Vec<u64>,
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct ZipfCorpus {
+    /// The documents.
+    pub docs: Vec<Document>,
+}
+
+impl ZipfCorpus {
+    /// Generate a corpus. Terms per document are `Uniform(mean/2, 3·mean/2)`
+    /// *sampled* occurrences, deduplicated, so distinct counts land slightly
+    /// below the mean occurrence count, as in real text.
+    ///
+    /// # Panics
+    /// Panics if any dimension of `params` is zero.
+    #[must_use]
+    pub fn generate(params: &CorpusParams) -> Self {
+        assert!(params.docs > 0 && params.vocab > 0 && params.mean_terms > 0);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let sampler = ZipfSampler::new(params.vocab, params.exponent);
+        let lo = (params.mean_terms / 2).max(1);
+        let hi = params.mean_terms + params.mean_terms / 2;
+        let docs = (0..params.docs)
+            .map(|d| {
+                let occurrences = rng.gen_range(lo..=hi);
+                let mut terms: Vec<u64> = (0..occurrences)
+                    .map(|_| sampler.sample(&mut rng) as u64)
+                    .collect();
+                terms.sort_unstable();
+                terms.dedup();
+                Document {
+                    name: format!("doc-{d:06}"),
+                    terms,
+                }
+            })
+            .collect();
+        Self { docs }
+    }
+
+    /// Total distinct (document, term) pairs — the `Σ|S|` of the size
+    /// analysis.
+    #[must_use]
+    pub fn total_terms(&self) -> usize {
+        self.docs.iter().map(|d| d.terms.len()).sum()
+    }
+
+    /// Document frequency of a term (its multiplicity `V`).
+    #[must_use]
+    pub fn doc_frequency(&self, term: u64) -> usize {
+        self.docs
+            .iter()
+            .filter(|d| d.terms.binary_search(&term).is_ok())
+            .count()
+    }
+}
+
+/// Inverse-CDF Zipf sampler over ranks `0..n` with `P(r) ∝ (r+1)^{−s}`.
+struct ZipfSampler {
+    /// Cumulative probabilities, length `n`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> CorpusParams {
+        CorpusParams {
+            docs: 200,
+            vocab: 5_000,
+            exponent: 1.05,
+            mean_terms: 100,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn corpus_shape_matches_params() {
+        let c = ZipfCorpus::generate(&small_params());
+        assert_eq!(c.docs.len(), 200);
+        let mean = c.total_terms() as f64 / 200.0;
+        assert!(
+            (40.0..160.0).contains(&mean),
+            "mean distinct terms {mean} too far from requested 100"
+        );
+        for d in &c.docs {
+            assert!(d.terms.windows(2).all(|w| w[0] < w[1]), "terms sorted+unique");
+            assert!(d.terms.iter().all(|&t| t < 5_000));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ZipfCorpus::generate(&small_params());
+        let b = ZipfCorpus::generate(&small_params());
+        assert_eq!(a.docs, b.docs);
+        let mut p2 = small_params();
+        p2.seed = 43;
+        let c = ZipfCorpus::generate(&p2);
+        assert_ne!(a.docs, c.docs);
+    }
+
+    #[test]
+    fn head_terms_have_high_document_frequency() {
+        let c = ZipfCorpus::generate(&small_params());
+        // Rank-0 term should appear in most documents; a deep-tail term in
+        // almost none.
+        let head_df = c.doc_frequency(0);
+        let tail_df = c.doc_frequency(4_999);
+        assert!(head_df > 150, "head df {head_df}");
+        assert!(tail_df < 10, "tail df {tail_df}");
+    }
+
+    #[test]
+    fn zipf_sampler_is_monotone_decreasing_in_rank() {
+        let sampler = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hist = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            hist[sampler.sample(&mut rng)] += 1;
+        }
+        // Aggregate over decades to smooth noise.
+        let head: u32 = hist[..10].iter().sum();
+        let mid: u32 = hist[100..110].iter().sum();
+        let tail: u32 = hist[900..910].iter().sum();
+        assert!(head > mid && mid > tail, "head {head}, mid {mid}, tail {tail}");
+    }
+
+    #[test]
+    fn paper_presets_have_documented_shapes() {
+        let w = CorpusParams::wiki(0.01, 1);
+        assert_eq!(w.docs, 176);
+        assert_eq!(w.mean_terms, 650);
+        let c = CorpusParams::clueweb(0.01, 1);
+        assert_eq!(c.docs, 500);
+        assert_eq!(c.mean_terms, 450);
+    }
+}

@@ -1,0 +1,21 @@
+//! Document-indexing substrate for the paper's §5.4 experiments.
+//!
+//! §5.4 extends RAMBO from k-mers to web documents: "each document is
+//! represented as a set of English words", preprocessed by "removing stop
+//! words, keeping only alpha-numeric, and tokenizing as word unigrams". Two
+//! corpora are used: a Wiki-dump sample (17,618 docs, ~650 terms/doc) and
+//! TREC ClueWeb09 Category B (50K docs, ~450 terms/doc).
+//!
+//! This crate provides the same preprocessing ([`tokenize`]) and a
+//! Zipf-distributed synthetic corpus generator ([`ZipfCorpus`]) calibrated to
+//! those statistics, standing in for the datasets themselves (which are
+//! licensed/unavailable — see DESIGN.md "Substitutions").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod token;
+
+pub use corpus::{CorpusParams, Document, ZipfCorpus};
+pub use token::{is_stop_word, tokenize, STOP_WORDS};

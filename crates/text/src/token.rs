@@ -1,0 +1,86 @@
+//! Tokenization matching the paper's §5.4 preprocessing: lowercase,
+//! alphanumeric-only, stop words removed, word unigrams.
+
+/// A compact English stop-word list (the usual IR function words).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
+    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
+    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
+    "out", "over", "own", "s", "same", "she", "should", "so", "some", "such", "t", "than",
+    "that", "the", "their", "them", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "you", "your",
+];
+
+/// True if `word` (already lowercase) is a stop word.
+#[must_use]
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+/// Tokenize text the way §5.4 describes: split on non-alphanumeric bytes,
+/// lowercase, drop stop words and empty tokens.
+///
+/// ```
+/// use rambo_text::tokenize;
+/// let toks = tokenize("The quick-brown FOX, and the dog!");
+/// assert_eq!(toks, vec!["quick", "brown", "fox", "dog"]);
+/// ```
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_ascii_lowercase)
+        .filter(|t| !is_stop_word(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_word_list_is_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must stay sorted");
+    }
+
+    #[test]
+    fn recognizes_stop_words() {
+        assert!(is_stop_word("the"));
+        assert!(is_stop_word("and"));
+        assert!(!is_stop_word("genome"));
+    }
+
+    #[test]
+    fn tokenize_strips_punctuation_and_case() {
+        assert_eq!(
+            tokenize("Hello, WORLD! hello?"),
+            vec!["hello", "world", "hello"]
+        );
+    }
+
+    #[test]
+    fn tokenize_drops_stop_words() {
+        assert_eq!(
+            tokenize("the cat and the hat"),
+            vec!["cat", "hat"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        assert_eq!(tokenize("covid 19 outbreak"), vec!["covid", "19", "outbreak"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_all_stop() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("the of and").is_empty());
+        assert!(tokenize("!!! ---").is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Synthetic ENA-like archives (the 170TB-dataset stand-in; DESIGN.md
+//! "Substitutions" item 1).
+//!
+//! The paper's measured statistics for 1000 random ENA documents (§5.1):
+//! mean 377.6M k-mers (std 354.9M) per document, of which mean 95M unique
+//! (std 103.1M). Scaled down ~2000×, that is a heavy-tailed distribution
+//! with std ≈ mean — a lognormal fits this shape; we clip it to keep bench
+//! runtimes bounded.
+//!
+//! Two generation paths mirror the paper's two input formats:
+//!
+//! * **McCortex path** ([`SyntheticArchive::generate`]) — documents arrive
+//!   as distinct k-mer sets directly (cheap, exact), modelling pre-filtered
+//!   `.ctx` files.
+//! * **FASTQ path** ([`SyntheticArchive::generate_fastq`]) — documents are
+//!   simulated genomes shredded into error-laden reads; k-mers are extracted
+//!   on ingestion, so error noise inflates the k-mer sets exactly as the
+//!   paper describes for raw-read inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rambo_kmer::sim::GenomeSimulator;
+use rambo_kmer::KmerSet;
+
+/// Shape of a synthetic archive.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchiveParams {
+    /// Number of documents `K`.
+    pub docs: usize,
+    /// Mean distinct terms per document.
+    pub mean_terms: usize,
+    /// Standard deviation of distinct terms per document.
+    pub std_terms: usize,
+    /// Fraction of each document drawn from its family's shared ancestor
+    /// pool (creates multiplicity `V > 1`); the rest is document-private.
+    pub shared_fraction: f64,
+    /// Documents per family (ancestor pool).
+    pub family_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ArchiveParams {
+    /// ENA-like preset scaled by `scale`: at `scale = 1.0`, the per-document
+    /// unique-k-mer statistics are the paper's (95M ± 103M); benches use
+    /// `scale ≈ 1/2000`.
+    #[must_use]
+    pub fn ena_like(docs: usize, scale: f64, seed: u64) -> Self {
+        Self {
+            docs,
+            mean_terms: ((95.0e6 * scale) as usize).max(16),
+            std_terms: ((103.0e6 * scale) as usize).max(8),
+            shared_fraction: 0.3,
+            family_size: 10,
+            seed,
+        }
+    }
+
+    /// Small preset for tests.
+    #[must_use]
+    pub fn tiny(docs: usize, seed: u64) -> Self {
+        Self {
+            docs,
+            mean_terms: 200,
+            std_terms: 100,
+            shared_fraction: 0.3,
+            family_size: 5,
+            seed,
+        }
+    }
+}
+
+/// A generated archive: named documents with distinct `u64` terms, plus the
+/// exact per-document contents for ground-truth checks.
+#[derive(Debug, Clone)]
+pub struct SyntheticArchive {
+    /// `(name, sorted distinct terms)` per document — the shape every index
+    /// in this repository ingests.
+    pub docs: Vec<(String, Vec<u64>)>,
+}
+
+/// Sample a lognormal with the given mean/std (moment-matched), clipped to
+/// `[lo, hi]`.
+fn lognormal_clipped(rng: &mut StdRng, mean: f64, std: f64, lo: usize, hi: usize) -> usize {
+    // Moment matching: for LogNormal(μ, σ²), mean = e^{μ+σ²/2},
+    // var = (e^{σ²}−1)e^{2μ+σ²}.
+    let cv2 = (std / mean).powi(2);
+    let sigma2 = (1.0 + cv2).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    // Box–Muller normal.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let x = (mu + sigma2.sqrt() * z).exp();
+    (x.round() as usize).clamp(lo, hi)
+}
+
+impl SyntheticArchive {
+    /// McCortex-path generation: documents as term sets with family overlap.
+    ///
+    /// Families of `family_size` documents share an ancestor pool; each
+    /// document takes `shared_fraction` of its terms from the pool (uniform
+    /// with replacement → realistic multiplicity spread) and the rest
+    /// private. Term ids are disjoint across pools/documents by
+    /// construction, so the ground truth is exactly recoverable.
+    ///
+    /// # Panics
+    /// Panics if `docs == 0` or `family_size == 0`.
+    #[must_use]
+    pub fn generate(params: &ArchiveParams) -> Self {
+        assert!(params.docs > 0 && params.family_size > 0);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mean = params.mean_terms as f64;
+        let std = params.std_terms as f64;
+        let lo = (params.mean_terms / 8).max(4);
+        let hi = params.mean_terms * 8;
+
+        let n_families = params.docs.div_ceil(params.family_size);
+        // Ancestor pools: family f owns term ids tagged with (1, f).
+        let pool_size = (mean * params.shared_fraction * 2.0) as u64 + 4;
+        let mut docs = Vec::with_capacity(params.docs);
+        for d in 0..params.docs {
+            let family = (d / params.family_size) as u64;
+            let _ = n_families;
+            let n = lognormal_clipped(&mut rng, mean, std, lo, hi);
+            let n_shared = ((n as f64) * params.shared_fraction) as usize;
+            let mut terms: Vec<u64> = Vec::with_capacity(n);
+            // Shared part: tag bit 63 set, family in bits 40.., pool offset low.
+            for _ in 0..n_shared {
+                let offset = rng.gen_range(0..pool_size);
+                terms.push((1u64 << 63) | (family << 40) | offset);
+            }
+            // Private part: tag bit 63 clear, doc id in bits 40...
+            for t in 0..(n - n_shared) as u64 {
+                terms.push(((d as u64) << 40) | t);
+            }
+            terms.sort_unstable();
+            terms.dedup();
+            docs.push((format!("ENA-{d:06}"), terms));
+        }
+        Self { docs }
+    }
+
+    /// FASTQ-path generation: genomes → error-laden reads → k-mer sets.
+    ///
+    /// `genome_len` bases per document, derived in families from ancestors
+    /// with 1% divergence, shredded into 150bp reads at the given coverage
+    /// with `error_rate` substitutions. K-mer extraction happens on the read
+    /// set, so errors inflate cardinality (the paper's reason FASTQ
+    /// ingestion is slower and FASTQ indexes bigger, Table 2/3).
+    ///
+    /// # Panics
+    /// Panics if `docs == 0` or `genome_len < 200`.
+    #[must_use]
+    pub fn generate_fastq(
+        docs: usize,
+        genome_len: usize,
+        coverage: f64,
+        error_rate: f64,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(docs > 0 && genome_len >= 200);
+        let mut sim = GenomeSimulator::new(seed);
+        let family_size = 5;
+        let mut out = Vec::with_capacity(docs);
+        let mut ancestor = sim.random_genome(genome_len);
+        for d in 0..docs {
+            if d % family_size == 0 && d > 0 {
+                ancestor = sim.random_genome(genome_len);
+            }
+            let genome = sim.mutate(&ancestor, 0.01);
+            let reads = sim.simulate_reads(&genome, 150, coverage, error_rate);
+            let set = KmerSet::from_sequences(reads.iter().map(|r| r.seq.as_slice()), k, false);
+            out.push((format!("FASTQ-{d:06}"), set.kmers().to_vec()));
+        }
+        Self { docs: out }
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total distinct (document, term) pairs — `Σ|S|`.
+    #[must_use]
+    pub fn total_terms(&self) -> usize {
+        self.docs.iter().map(|(_, t)| t.len()).sum()
+    }
+
+    /// Mean distinct terms per document.
+    #[must_use]
+    pub fn mean_terms(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_terms() as f64 / self.docs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ArchiveParams::tiny(20, 7);
+        let a = SyntheticArchive::generate(&p);
+        let b = SyntheticArchive::generate(&p);
+        assert_eq!(a.docs, b.docs);
+        let mut p2 = p;
+        p2.seed = 8;
+        assert_ne!(a.docs, SyntheticArchive::generate(&p2).docs);
+    }
+
+    #[test]
+    fn cardinalities_track_requested_moments() {
+        let p = ArchiveParams {
+            docs: 400,
+            mean_terms: 1000,
+            std_terms: 500,
+            shared_fraction: 0.2,
+            family_size: 8,
+            seed: 3,
+        };
+        let a = SyntheticArchive::generate(&p);
+        let mean = a.mean_terms();
+        assert!(
+            (600.0..1400.0).contains(&mean),
+            "mean {mean} too far from requested 1000"
+        );
+        for (_, terms) in &a.docs {
+            assert!(terms.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        }
+    }
+
+    #[test]
+    fn families_share_terms_strangers_do_not() {
+        let p = ArchiveParams::tiny(10, 9); // 2 families of 5
+        let a = SyntheticArchive::generate(&p);
+        let shared = |x: &[u64], y: &[u64]| -> usize {
+            x.iter().filter(|t| y.binary_search(t).is_ok()).count()
+        };
+        // Same family (docs 0 and 1) share ancestor-pool terms.
+        let same = shared(&a.docs[0].1, &a.docs[1].1);
+        assert!(same > 0, "family members must overlap");
+        // Different families (docs 0 and 7) share nothing.
+        let cross = shared(&a.docs[0].1, &a.docs[7].1);
+        assert_eq!(cross, 0, "cross-family overlap impossible by construction");
+    }
+
+    #[test]
+    fn ena_preset_scales() {
+        let small = ArchiveParams::ena_like(10, 1.0 / 2000.0, 1);
+        assert_eq!(small.mean_terms, 47_500);
+        let tiny = ArchiveParams::ena_like(10, 1e-9, 1);
+        assert_eq!(tiny.mean_terms, 16, "floor respected");
+    }
+
+    #[test]
+    fn fastq_path_produces_more_kmers_with_errors() {
+        let clean = SyntheticArchive::generate_fastq(3, 2000, 4.0, 0.0, 21, 5);
+        let noisy = SyntheticArchive::generate_fastq(3, 2000, 4.0, 0.02, 21, 5);
+        // Errors mint novel k-mers, so noisy documents are strictly bigger
+        // in aggregate.
+        assert!(
+            noisy.total_terms() > clean.total_terms(),
+            "noisy {} vs clean {}",
+            noisy.total_terms(),
+            clean.total_terms()
+        );
+    }
+
+    #[test]
+    fn fastq_family_members_overlap() {
+        let a = SyntheticArchive::generate_fastq(4, 3000, 6.0, 0.0, 21, 11);
+        let shared: usize = a.docs[0]
+            .1
+            .iter()
+            .filter(|t| a.docs[1].1.binary_search(t).is_ok())
+            .count();
+        let frac = shared as f64 / a.docs[0].1.len() as f64;
+        assert!(frac > 0.3, "family k-mer overlap only {frac}");
+    }
+
+    #[test]
+    fn lognormal_clipping_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = lognormal_clipped(&mut rng, 100.0, 100.0, 10, 500);
+            assert!((10..=500).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The paper's false-positive measurement methodology (§5.2, Figure 4).
+//!
+//! "We calculated the false positive rate by creating a test set of 1000
+//! randomly generated 30 length k-mer terms … assigned to V files
+//! (distributed exponentially (1/α)exp(−x/α) with α = 100) randomly."
+//!
+//! Planted terms are drawn from a reserved id range disjoint from every
+//! archive term (the paper uses length-30 strings for the same reason — no
+//! collision with the 31-mers already indexed), inserted into the chosen
+//! documents, and then queried; anything returned beyond the recorded truth
+//! is a false positive.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Planted query set with ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedQueries {
+    /// `(term, sorted target doc ids)` — each term was inserted into exactly
+    /// these documents.
+    pub queries: Vec<(u64, Vec<u32>)>,
+}
+
+impl PlantedQueries {
+    /// Generate `n` planted terms over `k_docs` documents with multiplicity
+    /// `V ~ 1 + Exp(α)` (clamped to `k_docs`); the paper's α is 100.
+    ///
+    /// Terms are drawn from the reserved range with bit 62 set, which no
+    /// archive generator and no 2-bit-packed 31-mer (bits 0..61) produces.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `k_docs == 0`, or `alpha <= 0`.
+    #[must_use]
+    pub fn generate(n: usize, k_docs: usize, alpha: f64, seed: u64) -> Self {
+        assert!(n > 0 && k_docs > 0);
+        assert!(alpha > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|i| {
+                let term = (1u64 << 62) | (i as u64);
+                // Exponential via inverse CDF; V ≥ 1 so every planted term
+                // exists somewhere (matching the paper's setup).
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let v = (1.0 + (-u.ln()) * alpha).round() as usize;
+                let v = v.clamp(1, k_docs);
+                // Sample v distinct docs (Floyd's algorithm).
+                let mut chosen = std::collections::BTreeSet::new();
+                for j in (k_docs - v)..k_docs {
+                    let t = rng.gen_range(0..=j);
+                    let t32 = t as u32;
+                    if !chosen.insert(t32) {
+                        chosen.insert(j as u32);
+                    }
+                }
+                (term, chosen.into_iter().collect())
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// Fixed-multiplicity variant for Figure 4's per-V curves: every term is
+    /// planted in exactly `v` documents. Term ids are salted with `v` so
+    /// several per-V query sets can coexist in one archive without
+    /// colliding.
+    ///
+    /// # Panics
+    /// Panics if `v == 0` or `v > k_docs`.
+    #[must_use]
+    pub fn generate_fixed_v(n: usize, k_docs: usize, v: usize, seed: u64) -> Self {
+        assert!(v >= 1 && v <= k_docs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|i| {
+                let term = (1u64 << 62) | ((v as u64) << 32) | (i as u64);
+                let mut chosen = std::collections::BTreeSet::new();
+                while chosen.len() < v {
+                    chosen.insert(rng.gen_range(0..k_docs as u32));
+                }
+                (term, chosen.into_iter().collect())
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// Splice the planted terms into a document batch (before building batch
+    /// indexes). Documents keep sorted, distinct term lists.
+    ///
+    /// # Panics
+    /// Panics if a target doc id exceeds the batch.
+    pub fn plant_into(&self, docs: &mut [(String, Vec<u64>)]) {
+        for (term, targets) in &self.queries {
+            for &d in targets {
+                docs[d as usize].1.push(*term);
+            }
+        }
+        for (_, terms) in docs.iter_mut() {
+            terms.sort_unstable();
+            terms.dedup();
+        }
+    }
+
+    /// Number of planted terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Measure an index's false-positive behaviour against the recorded
+    /// truth. `query` maps a term to the index's answer (ascending ids).
+    ///
+    /// # Panics
+    /// Panics — loudly — if the index violates the zero-false-negative
+    /// contract, since every downstream number would be meaningless.
+    #[must_use]
+    pub fn measure(&self, k_docs: usize, mut query: impl FnMut(u64) -> Vec<u32>) -> FprMeasurement {
+        let mut false_positives = 0usize;
+        let mut negatives = 0usize;
+        let mut affected_queries = 0usize;
+        for (term, truth) in &self.queries {
+            let got = query(*term);
+            for d in truth {
+                assert!(
+                    got.binary_search(d).is_ok(),
+                    "index reported a false negative for planted term {term:#x}, doc {d}"
+                );
+            }
+            let fp = got.len() - truth.len();
+            false_positives += fp;
+            negatives += k_docs - truth.len();
+            if fp > 0 {
+                affected_queries += 1;
+            }
+        }
+        FprMeasurement {
+            queries: self.queries.len(),
+            false_positives,
+            negatives,
+            affected_queries,
+        }
+    }
+}
+
+/// Result of an FPR measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FprMeasurement {
+    /// Number of planted queries evaluated.
+    pub queries: usize,
+    /// Total spurious (term, document) reports.
+    pub false_positives: usize,
+    /// Total true-negative opportunities (`Σ_q (K − V_q)`).
+    pub negatives: usize,
+    /// Queries with at least one false positive.
+    pub affected_queries: usize,
+}
+
+impl FprMeasurement {
+    /// Per-document false-positive rate (the `F_p` of Lemma 4.1, averaged
+    /// over queries).
+    #[must_use]
+    pub fn per_doc_rate(&self) -> f64 {
+        if self.negatives == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.negatives as f64
+        }
+    }
+
+    /// Fraction of queries returning any incorrect document (the δ of
+    /// Lemma 4.2, empirically).
+    #[must_use]
+    pub fn any_fp_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.affected_queries as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicities_follow_exponential_shape() {
+        let q = PlantedQueries::generate(2000, 10_000, 100.0, 1);
+        let vs: Vec<usize> = q.queries.iter().map(|(_, t)| t.len()).collect();
+        let mean = vs.iter().sum::<usize>() as f64 / vs.len() as f64;
+        // E[V] = 1 + α = 101.
+        assert!((80.0..130.0).contains(&mean), "mean multiplicity {mean}");
+        assert!(vs.iter().all(|&v| v >= 1));
+        // Heavy tail exists but is rare.
+        let big = vs.iter().filter(|&&v| v > 300).count();
+        assert!(big < vs.len() / 10);
+    }
+
+    #[test]
+    fn fixed_v_is_exact() {
+        let q = PlantedQueries::generate_fixed_v(100, 50, 7, 2);
+        for (_, targets) in &q.queries {
+            assert_eq!(targets.len(), 7);
+            assert!(targets.windows(2).all(|w| w[0] < w[1]));
+            assert!(targets.iter().all(|&d| d < 50));
+        }
+    }
+
+    #[test]
+    fn planted_terms_are_disjoint_from_archive_range() {
+        let q = PlantedQueries::generate(100, 10, 5.0, 3);
+        for (term, _) in &q.queries {
+            assert!(term & (1 << 62) != 0, "planted terms live in bit-62 range");
+        }
+    }
+
+    #[test]
+    fn plant_into_updates_documents() {
+        let mut docs: Vec<(String, Vec<u64>)> =
+            (0..5).map(|d| (format!("d{d}"), vec![d as u64])).collect();
+        let q = PlantedQueries::generate_fixed_v(10, 5, 2, 4);
+        q.plant_into(&mut docs);
+        for (term, targets) in &q.queries {
+            for &d in targets {
+                assert!(docs[d as usize].1.binary_search(term).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn measure_counts_false_positives() {
+        let q = PlantedQueries {
+            queries: vec![(100, vec![0, 1]), (101, vec![2])],
+        };
+        // An oracle with one extra doc on the second query.
+        let m = q.measure(10, |t| {
+            if t == 100 {
+                vec![0, 1]
+            } else {
+                vec![2, 7]
+            }
+        });
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.negatives, (10 - 2) + (10 - 1));
+        assert_eq!(m.affected_queries, 1);
+        assert!((m.per_doc_rate() - 1.0 / 17.0).abs() < 1e-12);
+        assert!((m.any_fp_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "false negative")]
+    fn measure_rejects_false_negatives() {
+        let q = PlantedQueries {
+            queries: vec![(100, vec![0, 1])],
+        };
+        let _ = q.measure(10, |_| vec![0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fixed-width table rendering so harness binaries print rows shaped like
+//! the paper's tables (and EXPERIMENTS.md can embed them verbatim).
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title line and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        row.truncate(self.headers.len());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string (also what `Display` prints).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Table 2: demo", &["#files", "RAMBO", "COBS"]);
+        t.row(&["100".into(), "0.018".into(), "0.19".into()]);
+        t.row(&["2000".into(), "0.191".into(), "2.72".into()]);
+        let s = t.render();
+        assert!(s.contains("Table 2: demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows align: each data line starts at column 0 with the
+        // padded #files cell.
+        assert!(lines[1].starts_with("#files"));
+        assert!(lines[3].starts_with("100 "));
+        assert!(lines[4].starts_with("2000"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into()]);
+        t.row(&["1".into(), "2".into(), "3".into()]);
+        assert!(t.render().lines().count() == 5);
+    }
+}

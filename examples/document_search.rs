@@ -1,0 +1,122 @@
+//! Text document indexing (the paper's §5.4): RAMBO as a word-membership
+//! search engine over a Wiki-like corpus.
+//!
+//! Real text flows through the same pipeline as genomes: tokenize each
+//! document into a distinct term set, hash terms to u64, insert. This
+//! example indexes a small built-in corpus plus a Zipfian synthetic corpus,
+//! then answers word and phrase-conjunction queries.
+//!
+//! ```text
+//! cargo run --release --example document_search
+//! ```
+
+use rambo::core::{QueryMode, RamboBuilder};
+use rambo::hash::murmur3_x64_64;
+use rambo::text::{tokenize, CorpusParams, ZipfCorpus};
+
+/// Hash a word to the u64 term space (collisions are ~2⁻⁶⁴ per pair —
+/// negligible against the index's own false-positive rate).
+fn term_of(word: &str) -> u64 {
+    murmur3_x64_64(word.as_bytes(), 0x7E97)
+}
+
+fn main() {
+    // --- A tiny hand-written corpus --------------------------------------
+    let pages: &[(&str, &str)] = &[
+        (
+            "bloom-filter",
+            "A Bloom filter is a space efficient probabilistic data structure \
+             for set membership testing with false positives but no false negatives.",
+        ),
+        (
+            "count-min-sketch",
+            "The count-min sketch is a probabilistic data structure for \
+             frequency estimation over data streams using pairwise independent hashing.",
+        ),
+        (
+            "genome-assembly",
+            "Genome assembly reconstructs a genome sequence from short \
+             sequencing reads using de Bruijn graphs over k-mers.",
+        ),
+        (
+            "sequence-search",
+            "Sequence search over genomic archives tests k-mer membership \
+             across thousands of datasets with Bloom filter indexes.",
+        ),
+    ];
+
+    // At toy scale (K = 4) the derived B = √(KV/η) would be 2, which makes
+    // bucket collisions certain; override to one-bucket-per-doc territory.
+    let mut index = RamboBuilder::new()
+        .expected_documents(pages.len())
+        .expected_terms_per_doc(20)
+        .buckets(8)
+        .repetitions(3)
+        .target_fpr(0.01)
+        .seed(5)
+        .build()
+        .expect("valid parameters");
+    for (name, text) in pages {
+        let mut terms: Vec<u64> = tokenize(text).iter().map(|w| term_of(w)).collect();
+        terms.sort_unstable();
+        terms.dedup();
+        index.insert_document(name, terms).expect("unique names");
+    }
+
+    for query in ["probabilistic", "membership", "genome", "streams"] {
+        let hits = index.query_u64(term_of(query));
+        println!("'{query}' -> {:?}", index.resolve_names(&hits));
+    }
+    // Conjunction: documents containing BOTH words (Algorithm 2 semantics).
+    let both = index.query_terms_u64(
+        &[term_of("bloom"), term_of("membership")],
+        QueryMode::Full,
+    );
+    println!(
+        "'bloom' AND 'membership' -> {:?}\n",
+        index.resolve_names(&both)
+    );
+
+    // --- A Wiki-scale synthetic corpus (§5.4 shape) -----------------------
+    let corpus = ZipfCorpus::generate(&CorpusParams::wiki(0.02, 99)); // ~350 docs
+    let k = corpus.docs.len();
+    let mean_terms = corpus.total_terms() / k;
+    println!("synthetic wiki corpus: {k} docs, ~{mean_terms} distinct terms each");
+
+    let mut wiki = RamboBuilder::new()
+        .expected_documents(k)
+        .expected_terms_per_doc(mean_terms)
+        .expected_multiplicity(8)
+        .target_fpr(0.01)
+        .seed(6)
+        .build()
+        .expect("valid parameters");
+    for doc in &corpus.docs {
+        wiki.insert_document(&doc.name, doc.terms.iter().copied())
+            .expect("unique names");
+    }
+
+    // A frequent (head) term hits many documents; a rare (tail) term few.
+    let head_hits = wiki.query_u64(0);
+    let tail_term = 150_000u64;
+    let tail_hits = wiki.query_u64(tail_term);
+    println!(
+        "head term -> {} docs (exact document frequency {})",
+        head_hits.len(),
+        corpus.doc_frequency(0)
+    );
+    println!(
+        "tail term -> {} docs (exact document frequency {})",
+        tail_hits.len(),
+        corpus.doc_frequency(tail_term)
+    );
+    // Superset guarantee in both regimes.
+    assert!(head_hits.len() >= corpus.doc_frequency(0));
+    assert!(tail_hits.len() >= corpus.doc_frequency(tail_term));
+    println!(
+        "wiki index: B={} x R={}, {:.1} KB",
+        wiki.buckets(),
+        wiki.repetitions(),
+        wiki.size_bytes() as f64 / 1e3
+    );
+}

@@ -1,0 +1,119 @@
+//! Genomic sequence search end-to-end: the paper's Figure 1 workflow.
+//!
+//! Simulates a microbial archive (genome families with shared ancestry),
+//! sequences each genome into error-laden FASTQ reads, extracts 31-mers,
+//! indexes them with RAMBO, and then answers sequence queries — including
+//! for a strain *related but not identical* to an indexed one, the paper's
+//! outbreak-tracking motivation.
+//!
+//! ```text
+//! cargo run --release --example genome_search
+//! ```
+
+use rambo::baselines::{InvertedIndex, MembershipIndex};
+use rambo::core::{QueryContext, QueryMode, RamboBuilder};
+use rambo::kmer::sim::GenomeSimulator;
+use rambo::kmer::{kmers_of, KmerSet};
+
+const K: usize = 31;
+const GENOME_LEN: usize = 20_000;
+const FAMILIES: usize = 10;
+const STRAINS_PER_FAMILY: usize = 5;
+
+fn main() {
+    // --- 1. Simulate the archive: families of related strains ------------
+    let mut sim = GenomeSimulator::new(2024);
+    let mut genomes: Vec<(String, Vec<u8>)> = Vec::new();
+    for f in 0..FAMILIES {
+        let ancestor = sim.random_genome(GENOME_LEN);
+        for (s, strain) in sim
+            .derive_family(&ancestor, STRAINS_PER_FAMILY, 0.01)
+            .into_iter()
+            .enumerate()
+        {
+            genomes.push((format!("family{f}-strain{s}"), strain));
+        }
+    }
+    println!("simulated {} genomes of {} bp", genomes.len(), GENOME_LEN);
+
+    // --- 2. Sequence + extract k-mers (FASTQ -> McCortex-like sets) ------
+    let mut docs: Vec<(String, Vec<u64>)> = Vec::new();
+    for (name, genome) in &genomes {
+        let reads = sim.simulate_reads(genome, 150, 6.0, 0.002);
+        let set = KmerSet::from_sequences(reads.iter().map(|r| r.seq.as_slice()), K, false);
+        docs.push((name.clone(), set.kmers().to_vec()));
+    }
+    let mean_kmers = docs.iter().map(|(_, t)| t.len()).sum::<usize>() / docs.len();
+    println!("mean distinct {K}-mers per document: {mean_kmers}");
+
+    // --- 3. Index with RAMBO (+ exact oracle for comparison) -------------
+    let mut index = RamboBuilder::new()
+        .expected_documents(docs.len())
+        .expected_terms_per_doc(mean_kmers)
+        .expected_multiplicity(STRAINS_PER_FAMILY as u32)
+        .target_fpr(0.01)
+        .seed(7)
+        .build()
+        .expect("valid parameters");
+    for (name, terms) in &docs {
+        index
+            .insert_document(name, terms.iter().copied())
+            .expect("unique names");
+    }
+    let oracle = InvertedIndex::build(&docs);
+    println!(
+        "RAMBO: B={} x R={}, {:.1} KB (exact inverted index: {:.1} KB)",
+        index.buckets(),
+        index.repetitions(),
+        index.size_bytes() as f64 / 1e3,
+        oracle.size_bytes() as f64 / 1e3,
+    );
+
+    // --- 4. Query a fragment of a known strain ---------------------------
+    // The index holds k-mers from *reads*: coverage gaps and sequencing
+    // errors mean a few percent of any genome fragment's k-mers are simply
+    // not in the indexed set, so the strict all-terms intersection of §3.3.1
+    // is too brittle here. We query with a θ-fraction threshold (θ = 0.8),
+    // the same robustness mechanism the SBT family uses.
+    let mut ctx = QueryContext::new();
+    let target = 17; // family3-strain2
+    let fragment = &genomes[target].1[5_000..5_400];
+    let query_kmers: Vec<u64> = kmers_of(fragment, K, false).collect();
+    let hits = index.query_sequence_theta(&query_kmers, 0.8, QueryMode::Sparse, &mut ctx);
+    let names = index.resolve_names(&hits);
+    println!("\nfragment of {} -> {:?}", genomes[target].0, names);
+    assert!(
+        names.contains(&genomes[target].0.as_str()),
+        "zero false negatives: the owner must be found"
+    );
+    // Cross-check against the exact oracle under the same θ semantics: every
+    // document truly containing ≥80% of the k-mers must be reported.
+    let needed = (query_kmers.len() as f64 * 0.8).ceil() as usize;
+    for d in 0..docs.len() as u32 {
+        let truly = query_kmers
+            .iter()
+            .filter(|&&t| oracle.postings(t).binary_search(&d).is_ok())
+            .count();
+        if truly >= needed {
+            assert!(hits.contains(&d), "RAMBO must return a superset of the truth");
+        }
+    }
+
+    // --- 5. Query an unseen outbreak strain (novel mutant) ---------------
+    // A strain 0.2% diverged from an indexed one: most 31-mer windows are
+    // intact, so the θ query still pins the family.
+    let outbreak = sim.mutate(&genomes[target].1, 0.002);
+    let fragment = &outbreak[8_000..8_400];
+    let query_kmers: Vec<u64> = kmers_of(fragment, K, false).collect();
+    let hits = index.query_sequence_theta(&query_kmers, 0.6, QueryMode::Sparse, &mut ctx);
+    println!(
+        "outbreak-strain fragment (0.2% diverged) -> {:?}",
+        index.resolve_names(&hits)
+    );
+
+    // --- 6. And a fragment from a genome never sequenced -----------------
+    let alien = GenomeSimulator::new(999).random_genome(1_000);
+    let query_kmers: Vec<u64> = kmers_of(&alien[..200], K, false).collect();
+    let hits = index.query_sequence_theta(&query_kmers, 0.6, QueryMode::Sparse, &mut ctx);
+    println!("unrelated fragment -> {} hits (expect 0)", hits.len());
+}

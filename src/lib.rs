@@ -1,0 +1,18 @@
+//! Umbrella crate re-exporting the full RAMBO reproduction API.
+//!
+//! See the individual crates for details; this crate exists so examples and
+//! integration tests can say `use rambo::prelude::*`.
+
+pub use rambo_baselines as baselines;
+pub use rambo_bitvec as bitvec;
+pub use rambo_bloom as bloom;
+pub use rambo_core as core;
+pub use rambo_hash as hash;
+pub use rambo_kmer as kmer;
+pub use rambo_text as text;
+pub use rambo_workloads as workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use rambo_core::*;
+}

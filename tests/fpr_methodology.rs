@@ -1,0 +1,137 @@
+//! Integration test of the §5.2/Figure 4 measurement methodology: planted
+//! queries with controlled multiplicity, measured FPR vs the Lemma 4.1/4.2
+//! predictions, and the fold-over FPR trade-off.
+
+use rambo::core::{theory, Rambo, RamboParams};
+use rambo::workloads::{ArchiveParams, PlantedQueries, SyntheticArchive};
+
+fn build(k: usize, b: u64, r: usize, seed: u64) -> (Rambo, Vec<(String, Vec<u64>)>) {
+    let mut p = ArchiveParams::tiny(k, seed);
+    p.mean_terms = 150;
+    p.std_terms = 40;
+    let archive = SyntheticArchive::generate(&p);
+    let per_bucket = (k as f64 / b as f64 * 160.0 * 1.3) as usize;
+    let params = RamboParams::flat(
+        b,
+        r,
+        rambo::bloom::params::optimal_m(per_bucket, 0.005),
+        2,
+        seed,
+    );
+    (Rambo::new(params).unwrap(), archive.docs)
+}
+
+fn build_with_planted(
+    k: usize,
+    b: u64,
+    r: usize,
+    seed: u64,
+    planted: &PlantedQueries,
+) -> Rambo {
+    let (mut index, mut docs) = build(k, b, r, seed);
+    planted.plant_into(&mut docs);
+    for (name, terms) in &docs {
+        index.insert_document(name, terms.iter().copied()).unwrap();
+    }
+    index
+}
+
+#[test]
+fn measured_fpr_tracks_lemma_41_in_v() {
+    let (k, b, r) = (400usize, 64u64, 3usize);
+    let mut rates = Vec::new();
+    for v in [1usize, 8, 32] {
+        let planted = PlantedQueries::generate_fixed_v(200, k, v, 7);
+        let index = build_with_planted(k, b, r, 7, &planted);
+        let measured = planted.measure(k, |t| index.query_u64(t)).per_doc_rate();
+        let predicted = theory::per_doc_fpr(index.estimated_bfu_fpr(), b, v as u32, r);
+        rates.push((v, measured, predicted));
+    }
+    // Monotone in V, and within an order of magnitude of the prediction for
+    // the collision-dominated (large V) points.
+    assert!(rates[0].1 <= rates[1].1 + 0.01);
+    assert!(rates[1].1 <= rates[2].1 + 0.01);
+    let (_, measured, predicted) = rates[2];
+    assert!(
+        measured < predicted * 10.0 + 0.01 && predicted < measured * 10.0 + 0.01,
+        "V=32: measured {measured} vs Lemma 4.1 {predicted}"
+    );
+}
+
+#[test]
+fn more_repetitions_cut_fpr() {
+    let k = 300usize;
+    let planted = PlantedQueries::generate_fixed_v(200, k, 16, 13);
+    let idx_r1 = build_with_planted(k, 32, 1, 13, &planted);
+    let idx_r4 = build_with_planted(k, 32, 4, 13, &planted);
+    let fpr_r1 = planted.measure(k, |t| idx_r1.query_u64(t)).per_doc_rate();
+    let fpr_r4 = planted.measure(k, |t| idx_r4.query_u64(t)).per_doc_rate();
+    assert!(
+        fpr_r4 < fpr_r1 / 2.0 + 0.005,
+        "R=4 ({fpr_r4}) must beat R=1 ({fpr_r1}) decisively"
+    );
+}
+
+#[test]
+fn folding_trades_memory_for_fpr() {
+    let k = 400usize;
+    let planted = PlantedQueries::generate_fixed_v(150, k, 4, 17);
+    let index = build_with_planted(k, 128, 3, 17, &planted);
+    let mut sizes = Vec::new();
+    let mut rates = Vec::new();
+    let mut current = index;
+    for _ in 0..3 {
+        sizes.push(current.size_bytes());
+        rates.push(planted.measure(k, |t| current.query_u64(t)).per_doc_rate());
+        current.fold_once().unwrap();
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[1] < w[0]),
+        "size must fall per fold: {sizes:?}"
+    );
+    assert!(
+        !rates.windows(2).all(|w| w[1] <= w[0] + 1e-9) || rates[2] >= rates[0],
+        "FPR must not fall as memory shrinks: {rates:?}"
+    );
+    assert!(rates[2] >= rates[0], "3rd fold FPR below baseline: {rates:?}");
+}
+
+#[test]
+fn overall_bound_holds_empirically() {
+    // Lemma 4.2 assumes one uniform per-BFU rate `p`. Our archives have
+    // lognormal document sizes, so bucket fills are heterogeneous and the
+    // *mean* fill badly underestimates reality (heavy buckets dominate the
+    // false positives — documented in EXPERIMENTS.md). Evaluating the bound
+    // at the **maximum** observed fill restores a sound upper bound, and at
+    // these parameters a tight one.
+    let (k, b, r) = (300usize, 64u64, 4usize);
+    let planted = PlantedQueries::generate_fixed_v(300, k, 2, 23);
+    let index = build_with_planted(k, b, r, 23, &planted);
+    let m = planted.measure(k, |t| index.query_u64(t));
+    let (_, max_fill) = index.fill_stats();
+    let p_worst = max_fill.powi(index.params().eta as i32);
+    let bound = theory::overall_fpr_bound(k, p_worst.max(0.001), b, 2, r);
+    assert!(
+        m.any_fp_rate() <= (bound * 3.0 + 0.05).min(1.0),
+        "any-FP rate {} exceeds 3x the worst-fill Lemma 4.2 bound {}",
+        m.any_fp_rate(),
+        bound
+    );
+    // The mean-fill bound must sit below the worst-fill bound (this is the
+    // heterogeneity gap the EXPERIMENTS notes discuss).
+    let mean_bound = theory::overall_fpr_bound(k, index.estimated_bfu_fpr(), b, 2, r);
+    assert!(mean_bound <= bound + 1e-12);
+}
+
+#[test]
+fn exponential_multiplicities_match_paper_setup() {
+    // The α=100 exponential of §5.2: mean multiplicity ≈ 1 + α.
+    let planted = PlantedQueries::generate(3000, 100_000, 100.0, 29);
+    let mean = planted
+        .queries
+        .iter()
+        .map(|(_, t)| t.len())
+        .sum::<usize>() as f64
+        / planted.len() as f64;
+    assert!((85.0..120.0).contains(&mean), "mean V = {mean}");
+}

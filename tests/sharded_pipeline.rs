@@ -1,0 +1,124 @@
+//! Integration test for the §5.3 distributed pipeline: parallel sharded
+//! construction, lossless stacking, post-stack folding, serialization, and
+//! query-answer equivalence with a monolithic build.
+
+use rambo::core::{build_sharded_parallel, QueryMode, Rambo, RamboParams, ShardedRambo};
+use rambo::workloads::{ArchiveParams, SyntheticArchive};
+
+fn archive(k: usize) -> SyntheticArchive {
+    let mut p = ArchiveParams::tiny(k, 31);
+    p.mean_terms = 150;
+    p.std_terms = 60;
+    SyntheticArchive::generate(&p)
+}
+
+fn params(seed: u64) -> RamboParams {
+    RamboParams::two_level(6, 8, 3, 1 << 15, 2, seed)
+}
+
+#[test]
+fn parallel_build_matches_monolithic_bfus_and_answers() {
+    let archive = archive(150);
+    let p = params(11);
+    let stacked = build_sharded_parallel(p, archive.docs.clone()).unwrap();
+
+    let mut mono = Rambo::new(p).unwrap();
+    for (name, terms) in &archive.docs {
+        mono.insert_document(name, terms.iter().copied()).unwrap();
+    }
+
+    // BFU columns identical everywhere.
+    for rep in 0..3 {
+        for b in 0..p.buckets() as usize {
+            assert_eq!(
+                stacked.bfu_bits(rep, b),
+                mono.bfu_bits(rep, b),
+                "BFU ({rep},{b}) diverged"
+            );
+        }
+    }
+    // Same answers modulo document renumbering.
+    for (name, terms) in archive.docs.iter().step_by(13) {
+        for &t in terms.iter().take(3) {
+            let mut a: Vec<&str> = stacked.resolve_names(&stacked.query_u64(t));
+            let mut b: Vec<&str> = mono.resolve_names(&mono.query_u64(t));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "answers diverged for {name} term {t:#x}");
+        }
+    }
+}
+
+#[test]
+fn sequential_and_parallel_sharding_agree() {
+    let archive = archive(100);
+    let p = params(23);
+    let parallel = build_sharded_parallel(p, archive.docs.clone()).unwrap();
+    let mut sequential = ShardedRambo::new(p).unwrap();
+    for (name, terms) in &archive.docs {
+        sequential
+            .ingest_document(name, terms.iter().copied())
+            .unwrap();
+    }
+    assert_eq!(parallel, sequential.stack().unwrap());
+}
+
+#[test]
+fn stacked_index_folds_serializes_and_queries() {
+    let archive = archive(120);
+    let p = params(37);
+    let mut index = build_sharded_parallel(p, archive.docs.clone()).unwrap();
+
+    // Fold once (48 → 24 buckets), serialize, reload, verify queries.
+    index.fold_once().unwrap();
+    assert_eq!(index.buckets(), 24);
+    let reloaded = Rambo::from_bytes(&index.to_bytes().unwrap()).unwrap();
+    assert_eq!(index, reloaded);
+
+    for (name, terms) in archive.docs.iter().step_by(29) {
+        let id = reloaded.document_id(name).unwrap();
+        for &t in terms.iter().take(2) {
+            assert!(
+                reloaded.query_u64(t).contains(&id),
+                "{name} lost term {t:#x} after fold+serialize"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_parallel_queries_match_serial() {
+    let archive = archive(80);
+    let index = build_sharded_parallel(params(41), archive.docs.clone()).unwrap();
+    let terms: Vec<u64> = archive
+        .docs
+        .iter()
+        .flat_map(|(_, t)| t[..2].to_vec())
+        .chain((0..30).map(|i| 0xEEEE_0000_0000u64 + i))
+        .collect();
+    let serial: Vec<_> = terms.iter().map(|&t| index.query_u64(t)).collect();
+    for threads in [1, 3, 8] {
+        assert_eq!(
+            index.query_batch_parallel(&terms, QueryMode::Full, threads),
+            serial,
+            "threads = {threads}"
+        );
+        assert_eq!(
+            index.query_batch_parallel(&terms, QueryMode::Sparse, threads),
+            serial,
+            "sparse, threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn routing_distributes_documents() {
+    let sharded = ShardedRambo::new(params(53)).unwrap();
+    let mut counts = vec![0usize; sharded.nodes()];
+    for i in 0..600 {
+        counts[sharded.route(&format!("doc{i}")) as usize] += 1;
+    }
+    for (node, &c) in counts.iter().enumerate() {
+        assert!(c > 30, "node {node} starved: {c} docs");
+    }
+}
