@@ -91,7 +91,10 @@ impl MembershipIndex for BitSlicedIndex {
     }
 
     fn query_term(&self, term: u64) -> Vec<u32> {
-        self.query_bitmap(term).iter_ones().map(|i| i as u32).collect()
+        self.query_bitmap(term)
+            .iter_ones()
+            .map(|i| i as u32)
+            .collect()
     }
 
     fn query_terms(&self, terms: &[u64]) -> Vec<u32> {
@@ -150,10 +153,8 @@ impl CompactBitSliced {
         let blocks = order
             .chunks(block_size)
             .map(|chunk| {
-                let block_docs: Vec<(String, Vec<u64>)> = chunk
-                    .iter()
-                    .map(|&j| docs[j as usize].clone())
-                    .collect();
+                let block_docs: Vec<(String, Vec<u64>)> =
+                    chunk.iter().map(|&j| docs[j as usize].clone()).collect();
                 let max_n = block_docs
                     .iter()
                     .map(|(_, t)| t.len())
@@ -241,10 +242,7 @@ mod tests {
                 let base = (d as u64) << 24;
                 // Vary cardinality so compact blocks differ in size.
                 let n = terms_per_doc / 2 + (d * terms_per_doc) / k;
-                (
-                    format!("doc{d}"),
-                    (0..n as u64).map(|t| base | t).collect(),
-                )
+                (format!("doc{d}"), (0..n as u64).map(|t| base | t).collect())
             })
             .collect()
     }

@@ -275,10 +275,7 @@ mod tests {
         (0..k)
             .map(|d| {
                 let base = (d as u64) << 24;
-                (
-                    format!("doc{d}"),
-                    (0..n as u64).map(|t| base | t).collect(),
-                )
+                (format!("doc{d}"), (0..n as u64).map(|t| base | t).collect())
             })
             .collect()
     }

@@ -17,7 +17,9 @@ fn build_index(k: usize, terms: usize, seed: u64) -> (Rambo, Vec<u64>) {
     planted.plant_into(&mut archive.docs);
     // Force an even bucket count so the fold benchmark can halve it.
     let b = (((k as f64).sqrt() * 4.5).round() as u64 + 1) & !1;
-    let per_bucket = ((k as f64 / b as f64) * terms as f64 * 1.2).ceil().max(64.0) as usize;
+    let per_bucket = ((k as f64 / b as f64) * terms as f64 * 1.2)
+        .ceil()
+        .max(64.0) as usize;
     let params = RamboParams::flat(
         b,
         3,
@@ -61,17 +63,13 @@ fn bench_query(c: &mut Criterion) {
         let (r, queries) = build_index(k, 200, 42);
         let mut ctx = QueryContext::new();
         for (mode, label) in [(QueryMode::Full, "full"), (QueryMode::Sparse, "sparse")] {
-            g.bench_with_input(
-                BenchmarkId::new(label, k),
-                &k,
-                |b, _| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        i = (i + 1) % queries.len();
-                        black_box(r.query_terms_with(&[queries[i]], mode, &mut ctx))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    black_box(r.query_terms_with(&[queries[i]], mode, &mut ctx))
+                })
+            });
         }
     }
     g.finish();

@@ -1,0 +1,104 @@
+//! Batch-query benchmark: per-call [`rambo_core::Rambo::query_terms_with`]
+//! vs the memoizing [`rambo_core::QueryBatch`] engine, in both evaluation
+//! modes, on a workload whose queries share terms (overlapping sequence
+//! windows — the shape §3.3.1 sequence queries produce).
+//!
+//! Asserts batch results equal per-call results, then emits
+//! `BENCH_batch_query.json`.
+//!
+//! ```text
+//! cargo run --release -p rambo-bench --bin batch_query -- \
+//!     --docs 400 --mean-terms 400 --queries 2000
+//! ```
+
+use rambo_bench::{build_rambo, paper_rambo_params, Args, JsonReport};
+use rambo_core::{QueryBatch, QueryContext, QueryMode};
+use rambo_workloads::timing::time;
+use rambo_workloads::{ArchiveParams, SyntheticArchive};
+
+fn main() {
+    let args = Args::parse();
+    let docs = args.get_usize("docs", 400);
+    let mean_terms = args.get_usize("mean-terms", 400);
+    let n_queries = args.get_usize("queries", 2000);
+    let window = args.get_usize("window", 4);
+    let seed = args.get_u64("seed", 7);
+
+    let mut params = ArchiveParams::tiny(docs, seed);
+    params.mean_terms = mean_terms;
+    params.std_terms = mean_terms / 3;
+    let archive = SyntheticArchive::generate(&params);
+    let index = build_rambo(
+        paper_rambo_params(docs, mean_terms, false, seed),
+        &archive.docs,
+    );
+
+    // Sliding `window`-term queries over document term lists: adjacent
+    // queries share `window − 1` terms, plus a tail of absent single-term
+    // probes. This is the memoization-friendly (and realistic) shape.
+    let mut queries: Vec<Vec<u64>> = Vec::with_capacity(n_queries);
+    'outer: for (_, terms) in archive.docs.iter() {
+        if terms.len() < window {
+            continue;
+        }
+        for w in terms.windows(window).take(8) {
+            queries.push(w.to_vec());
+            if queries.len() == n_queries * 9 / 10 {
+                break 'outer;
+            }
+        }
+    }
+    while queries.len() < n_queries {
+        queries.push(vec![0xDEAD_0000_0000u64 + queries.len() as u64]);
+    }
+
+    eprintln!(
+        "batch_query: K={docs} queries={} window={window} B={} R={}",
+        queries.len(),
+        index.buckets(),
+        index.repetitions()
+    );
+
+    let mut report = JsonReport::new("batch_query");
+    report
+        .int("docs", docs as u64)
+        .int("queries", queries.len() as u64)
+        .int("window", window as u64)
+        .int("buckets", index.buckets())
+        .int("repetitions", index.repetitions() as u64);
+
+    for (mode, label) in [(QueryMode::Full, "full"), (QueryMode::Sparse, "sparse")] {
+        let (per_call, t_per_call) = time(|| {
+            let mut ctx = QueryContext::new();
+            queries
+                .iter()
+                .map(|q| index.query_terms_with(q, mode, &mut ctx))
+                .collect::<Vec<_>>()
+        });
+        let (batched, t_batch) = time(|| {
+            let mut batch = QueryBatch::new(&index);
+            batch.run(&queries, mode)
+        });
+        assert_eq!(per_call, batched, "{label}: batch must equal per-call");
+
+        let nq = queries.len() as f64;
+        let us = |d: std::time::Duration| d.as_secs_f64() * 1e6 / nq;
+        eprintln!(
+            "{label:<6} per-call {:>8.2} us/query   batch {:>8.2} us/query   ({:.2}x)",
+            us(t_per_call),
+            us(t_batch),
+            t_per_call.as_secs_f64() / t_batch.as_secs_f64()
+        );
+        report
+            .num(&format!("{label}_per_call_us_per_query"), us(t_per_call))
+            .num(&format!("{label}_batch_us_per_query"), us(t_batch))
+            .num(
+                &format!("{label}_batch_speedup"),
+                t_per_call.as_secs_f64() / t_batch.as_secs_f64(),
+            );
+    }
+
+    report
+        .write("BENCH_batch_query.json")
+        .expect("write BENCH_batch_query.json");
+}

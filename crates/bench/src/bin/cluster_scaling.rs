@@ -39,16 +39,20 @@ fn main() {
     p.mean_terms = mean_terms;
     p.std_terms = mean_terms / 2;
     let archive = SyntheticArchive::generate(&p);
-    let per_bucket =
-        ((k as f64 / total_b as f64) * mean_terms as f64 * 1.2).ceil().max(64.0) as usize;
+    let per_bucket = ((k as f64 / total_b as f64) * mean_terms as f64 * 1.2)
+        .ceil()
+        .max(64.0) as usize;
     let bfu_bits = rambo_bloom::params::optimal_m(per_bucket, 0.01);
 
     // Single-thread monolithic reference (also the correctness oracle).
+    // Pinned to one batch-insertion thread so the speedup column measures
+    // the node fan-out, not the batch engine's per-repetition fan-out.
     let mono_params = RamboParams::two_level(1, total_b, reps, bfu_bits, 2, seed);
     let (_, mono_time) = time(|| {
         let mut r = Rambo::new(mono_params).expect("params");
         for (name, terms) in &archive.docs {
-            r.insert_document(name, terms.iter().copied()).expect("unique");
+            r.insert_document_batch_with(name, terms, 1)
+                .expect("unique");
         }
         r
     });
@@ -71,14 +75,14 @@ fn main() {
             continue;
         }
         let params = RamboParams::two_level(n, total_b / n, reps, bfu_bits, 2, seed);
-        let (stacked, t) = time(|| {
-            build_sharded_parallel(params, archive.docs.clone()).expect("sharded build")
-        });
+        let (stacked, t) =
+            time(|| build_sharded_parallel(params, archive.docs.clone()).expect("sharded build"));
         // Lossless-stacking check: identical BFU bit patterns as a
         // same-seed monolithic build with the same node layout.
         let mut mono = Rambo::new(params).expect("params");
         for (name, terms) in &archive.docs {
-            mono.insert_document(name, terms.iter().copied()).expect("unique");
+            mono.insert_document(name, terms.iter().copied())
+                .expect("unique");
         }
         let mut identical = true;
         'check: for rep in 0..reps {
@@ -93,7 +97,11 @@ fn main() {
             n.to_string(),
             human_duration(t),
             format!("{:.2}x", mono_time.as_secs_f64() / t.as_secs_f64()),
-            if identical { "yes".into() } else { "NO — BUG".to_string() },
+            if identical {
+                "yes".into()
+            } else {
+                "NO — BUG".to_string()
+            },
         ]);
     }
     println!("{table}");

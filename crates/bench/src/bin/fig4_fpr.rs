@@ -51,8 +51,9 @@ fn main() {
 
     // Build once, then derive folded versions (the paper's one-time
     // processing workflow).
-    let per_bucket =
-        ((k as f64 / buckets as f64) * mean_terms as f64 * 1.2).ceil().max(64.0) as usize;
+    let per_bucket = ((k as f64 / buckets as f64) * mean_terms as f64 * 1.2)
+        .ceil()
+        .max(64.0) as usize;
     let params = RamboParams::flat(
         buckets,
         reps,
@@ -73,10 +74,7 @@ fn main() {
         indexes.push(next);
     }
     for idx in &indexes {
-        headers.push(format!(
-            "meas@{}",
-            human_bytes(idx.size_bytes())
-        ));
+        headers.push(format!("meas@{}", human_bytes(idx.size_bytes())));
         headers.push("lemma4.1".into());
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -90,12 +88,7 @@ fn main() {
         for idx in &indexes {
             let m = queries.measure(k, |t| idx.query_u64(t));
             let p_bfu = idx.estimated_bfu_fpr();
-            let predicted = theory::per_doc_fpr(
-                p_bfu,
-                idx.buckets(),
-                *v as u32,
-                idx.repetitions(),
-            );
+            let predicted = theory::per_doc_fpr(p_bfu, idx.buckets(), *v as u32, idx.repetitions());
             row.push(format!("{:.5}", m.per_doc_rate()));
             row.push(format!("{predicted:.5}"));
         }

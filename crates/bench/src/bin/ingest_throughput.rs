@@ -1,0 +1,128 @@
+//! Ingestion-throughput benchmark for the batch-parallel engine.
+//!
+//! Builds the same index three ways over one synthetic ENA-like archive —
+//! term-at-a-time (the pre-batch hot path), batch single-thread, and batch
+//! multi-thread — asserts all three are **bit-identical**, and emits
+//! `BENCH_ingest.json` so the speedup is tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p rambo-bench --bin ingest_throughput -- \
+//!     --docs 60 --mean-terms 20000 --reps 4 --threads 4
+//! ```
+
+use rambo_bench::{default_threads, Args, JsonReport};
+use rambo_core::{Rambo, RamboParams};
+use rambo_workloads::timing::{human_duration, time};
+use rambo_workloads::{ArchiveParams, SyntheticArchive};
+
+fn main() {
+    let args = Args::parse();
+    let docs = args.get_usize("docs", 60);
+    let mean_terms = args.get_usize("mean-terms", 20_000);
+    let reps = args.get_usize("reps", 4);
+    let threads = args.get_usize("threads", default_threads());
+    let seed = args.get_u64("seed", 42);
+
+    let mut params = ArchiveParams::tiny(docs, seed);
+    params.mean_terms = mean_terms;
+    params.std_terms = mean_terms / 3;
+    let archive = SyntheticArchive::generate(&params);
+    let total_terms = archive.total_terms() as u64;
+
+    let b = ((docs as f64).sqrt() * 4.5).round().max(4.0) as u64;
+    let per_bucket = ((docs as f64 / b as f64) * mean_terms as f64 * 1.2).ceil() as usize;
+    let rambo_params = RamboParams::flat(
+        b,
+        reps,
+        rambo_bloom::params::optimal_m(per_bucket.max(64), 0.01),
+        2,
+        seed,
+    );
+
+    eprintln!(
+        "ingest: K={docs} mean_terms={mean_terms} total_terms={total_terms} B={b} R={reps} \
+         threads={threads}"
+    );
+
+    // 1. Term-at-a-time: the pre-batch ingestion path.
+    let (naive, t_naive) = time(|| {
+        let mut r = Rambo::new(rambo_params).expect("valid params");
+        for (name, terms) in &archive.docs {
+            let d = r.add_document(name).expect("unique");
+            for &t in terms {
+                r.insert_term_u64(d, t).expect("known doc");
+            }
+        }
+        r
+    });
+
+    // 2. Batch engine, forced sequential.
+    let (batch1, t_batch1) = time(|| {
+        let mut r = Rambo::new(rambo_params).expect("valid params");
+        for (name, terms) in &archive.docs {
+            r.insert_document_batch_with(name, terms, 1)
+                .expect("unique");
+        }
+        r
+    });
+
+    // 3. Batch engine, R-way fan-out over `threads` workers.
+    let (batch_n, t_batch_n) = time(|| {
+        let mut r = Rambo::new(rambo_params).expect("valid params");
+        for (name, terms) in &archive.docs {
+            r.insert_document_batch_with(name, terms, threads)
+                .expect("unique");
+        }
+        r
+    });
+
+    assert_eq!(naive, batch1, "batch(1) must be bit-identical to naive");
+    assert_eq!(
+        naive, batch_n,
+        "batch({threads}) must be bit-identical to naive"
+    );
+
+    let rate = |d: std::time::Duration| total_terms as f64 / d.as_secs_f64();
+    eprintln!(
+        "naive     {:>10}  ({:.2} Mterms/s)",
+        human_duration(t_naive),
+        rate(t_naive) / 1e6
+    );
+    eprintln!(
+        "batch(1)  {:>10}  ({:.2} Mterms/s)",
+        human_duration(t_batch1),
+        rate(t_batch1) / 1e6
+    );
+    eprintln!(
+        "batch({threads})  {:>10}  ({:.2} Mterms/s)",
+        human_duration(t_batch_n),
+        rate(t_batch_n) / 1e6
+    );
+
+    JsonReport::new("ingest_throughput")
+        .int("docs", docs as u64)
+        .int("total_terms", total_terms)
+        .int("buckets", b)
+        .int("repetitions", reps as u64)
+        .int("threads", threads as u64)
+        .num("naive_s", t_naive.as_secs_f64())
+        .num("batch_single_thread_s", t_batch1.as_secs_f64())
+        .num("batch_multi_thread_s", t_batch_n.as_secs_f64())
+        .num("naive_mterms_per_s", rate(t_naive) / 1e6)
+        .num("batch_single_mterms_per_s", rate(t_batch1) / 1e6)
+        .num("batch_multi_mterms_per_s", rate(t_batch_n) / 1e6)
+        .num(
+            "speedup_batch_vs_naive",
+            t_naive.as_secs_f64() / t_batch1.as_secs_f64(),
+        )
+        .num(
+            "speedup_multi_vs_single",
+            t_batch1.as_secs_f64() / t_batch_n.as_secs_f64(),
+        )
+        .num(
+            "speedup_total",
+            t_naive.as_secs_f64() / t_batch_n.as_secs_f64(),
+        )
+        .write("BENCH_ingest.json")
+        .expect("write BENCH_ingest.json");
+}

@@ -26,7 +26,9 @@
 use rambo_baselines::{
     BitSlicedIndex, InvertedIndex, MembershipIndex, RamboIndex, RamboPlusIndex, Sbt, SplitSbt,
 };
-use rambo_bench::{build_rambo, mean_query_time, paper_buckets_for, paper_rambo_params_with_fpr, Args};
+use rambo_bench::{
+    build_rambo, mean_query_time, paper_buckets_for, paper_rambo_params_with_fpr, Args,
+};
 use rambo_workloads::{ArchiveParams, PlantedQueries, SyntheticArchive, Table};
 
 fn main() {
@@ -88,7 +90,14 @@ fn main() {
         "growth factor per K-doubling (geometric mean)",
         &["index", "growth", "theory"],
     );
-    let theory = ["~1.0 (O(1))", "~1.4 (O(sqrt K log K))", "~1.4", "~2.0 (O(K))", "1..2 (O(log K)..O(K))", "1..2"];
+    let theory = [
+        "~1.0 (O(1))",
+        "~1.4 (O(sqrt K log K))",
+        "~1.4",
+        "~2.0 (O(K))",
+        "1..2 (O(log K)..O(K))",
+        "1..2",
+    ];
     for (i, label) in labels.iter().enumerate() {
         let s = &series[i];
         if s.len() < 2 {
@@ -103,7 +112,11 @@ fn main() {
             factors.push(t_ratio.powf(1.0 / k_ratio.log2()));
         }
         let g = rambo_workloads::stats::geo_mean(&factors);
-        growth.row(&[(*label).to_string(), format!("{g:.2}x"), theory[i].to_string()]);
+        growth.row(&[
+            (*label).to_string(),
+            format!("{g:.2}x"),
+            theory[i].to_string(),
+        ]);
     }
     println!("{growth}");
     println!("shape check: COBS growth > RAMBO growth > Inverted growth.");

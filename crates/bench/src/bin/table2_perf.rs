@@ -37,19 +37,21 @@ fn main() {
         let format = if fastq { "FASTQ" } else { "McCortex" };
         let mut qt_table = Table::new(
             format!("Table 2 ({format}): time per query (ms)"),
-            &["#files", "RAMBO", "RAMBO+", "COBS", "BIGSI", "SBT", "SSBT", "HowDe~"],
+            &[
+                "#files", "RAMBO", "RAMBO+", "COBS", "BIGSI", "SBT", "SSBT", "HowDe~",
+            ],
         );
         let mut ct_table = Table::new(
             format!("Table 2 ({format}): construction time"),
-            &["#files", "extract", "RAMBO", "COBS", "BIGSI", "SBT", "SSBT", "HowDe~"],
+            &[
+                "#files", "extract", "RAMBO", "COBS", "BIGSI", "SBT", "SSBT", "HowDe~",
+            ],
         );
 
         for &k in &files {
             // --- workload -------------------------------------------------
             let (mut archive, extract_time) = if fastq {
-                time(|| {
-                    SyntheticArchive::generate_fastq(k, fastq_genome, 4.0, 0.005, 21, seed)
-                })
+                time(|| SyntheticArchive::generate_fastq(k, fastq_genome, 4.0, 0.005, 21, seed))
             } else {
                 time(|| {
                     let mut p = ArchiveParams::ena_like(k, 1.0 / 2000.0, seed);

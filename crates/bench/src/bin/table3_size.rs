@@ -25,7 +25,14 @@ fn main() {
     let mut table = Table::new(
         "Table 3: serialized index size",
         &[
-            "#files", "RAMBO", "COBS", "BIGSI", "SBT", "SSBT", "HowDe~", "RAMBO/COBS",
+            "#files",
+            "RAMBO",
+            "COBS",
+            "BIGSI",
+            "SBT",
+            "SSBT",
+            "HowDe~",
+            "RAMBO/COBS",
         ],
     );
 

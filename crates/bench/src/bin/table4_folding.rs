@@ -55,9 +55,8 @@ fn main() {
         2,
         seed,
     );
-    let (index, build_time) = time(|| {
-        build_sharded_parallel(params, archive.docs.clone()).expect("sharded build")
-    });
+    let (index, build_time) =
+        time(|| build_sharded_parallel(params, archive.docs.clone()).expect("sharded build"));
     println!(
         "stacked build: B = {} x R = {} in {}\n",
         index.buckets(),
@@ -67,7 +66,14 @@ fn main() {
 
     let mut table = Table::new(
         "Table 4: query time / size / FPR per fold",
-        &["fold", "B", "QT full (ms)", "QT sparse (ms)", "size", "per-doc FPR"],
+        &[
+            "fold",
+            "B",
+            "QT full (ms)",
+            "QT sparse (ms)",
+            "size",
+            "per-doc FPR",
+        ],
     );
     let mut current = index;
     for fold in [1u32, 2, 4, 8] {
@@ -82,11 +88,7 @@ fn main() {
         });
         let (_, sparse_t) = time(|| {
             for &t in &query_terms {
-                std::hint::black_box(current.query_terms_with(
-                    &[t],
-                    QueryMode::Sparse,
-                    &mut ctx,
-                ));
+                std::hint::black_box(current.query_terms_with(&[t], QueryMode::Sparse, &mut ctx));
             }
         });
         // The sharded build renumbers documents node-major; translate index
@@ -109,8 +111,14 @@ fn main() {
         table.row(&[
             format!("x{fold}"),
             current.buckets().to_string(),
-            format!("{:.4}", full_t.as_secs_f64() * 1e3 / query_terms.len() as f64),
-            format!("{:.4}", sparse_t.as_secs_f64() * 1e3 / query_terms.len() as f64),
+            format!(
+                "{:.4}",
+                full_t.as_secs_f64() * 1e3 / query_terms.len() as f64
+            ),
+            format!(
+                "{:.4}",
+                sparse_t.as_secs_f64() * 1e3 / query_terms.len() as f64
+            ),
             human_bytes(current.size_bytes()),
             format!("{:.5}", fpr.per_doc_rate()),
         ]);

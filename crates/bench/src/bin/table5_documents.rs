@@ -17,7 +17,7 @@
 //! ```
 
 use rambo_baselines::{CompactBitSliced, MembershipIndex, RamboIndex, SplitSbt};
-use rambo_bench::{build_rambo, mean_query_time, Args};
+use rambo_bench::{build_rambo_threads, mean_query_time, Args};
 use rambo_core::RamboParams;
 use rambo_text::{CorpusParams, ZipfCorpus};
 use rambo_workloads::timing::{human_bytes, human_duration, time};
@@ -68,21 +68,22 @@ fn main() {
     for spec in specs {
         let corpus = ZipfCorpus::generate(&spec.corpus);
         let k = corpus.docs.len();
-        let mut docs: Vec<(String, Vec<u64>)> = corpus
-            .docs
-            .into_iter()
-            .map(|d| (d.name, d.terms))
-            .collect();
+        let mut docs: Vec<(String, Vec<u64>)> =
+            corpus.docs.into_iter().map(|d| (d.name, d.terms)).collect();
         let planted = PlantedQueries::generate(n_queries, k, 100.0_f64.min(k as f64 / 2.0), seed);
         planted.plant_into(&mut docs);
         let terms: Vec<u64> = planted.queries.iter().map(|(t, _)| *t).collect();
 
         // RAMBO with the paper's per-dataset parameters.
         let params = RamboParams::flat(spec.buckets, spec.reps, spec.bfu_bits, 2, seed);
-        let (rambo, rambo_ct) = time(|| build_rambo(params, &docs));
+        // One ingestion thread: this table's construction-time column is
+        // compared against single-threaded baseline builds (same fairness
+        // rule as build_suite; the fan-out is measured by ingest_throughput).
+        let (rambo, rambo_ct) = time(|| build_rambo_threads(params, &docs, 1));
         let rambo = RamboIndex::new(rambo);
 
-        let (cobs, cobs_ct) = time(|| CompactBitSliced::build(&docs, (k / 16).max(8), 0.01, 3, seed));
+        let (cobs, cobs_ct) =
+            time(|| CompactBitSliced::build(&docs, (k / 16).max(8), 0.01, 3, seed));
 
         let mut entries: Vec<(&dyn MembershipIndex, std::time::Duration)> =
             vec![(&rambo, rambo_ct), (&cobs, cobs_ct)];

@@ -28,7 +28,13 @@ pub fn paper_buckets_for(k: usize) -> u64 {
         _ => {
             // Extend the paper's grid by its own rule B = O(√K): the listed
             // constants track ≈ 4.5·√K / √10.
-            let exact = [(100u64, 15u64), (200, 27), (500, 60), (1000, 100), (2000, 200)];
+            let exact = [
+                (100u64, 15u64),
+                (200, 27),
+                (500, 60),
+                (1000, 100),
+                (2000, 200),
+            ];
             if let Some(&(_, b)) = exact.iter().find(|&&(kk, _)| kk == k as u64) {
                 b
             } else {
@@ -60,17 +66,10 @@ pub fn paper_rambo_params_with_fpr(
 ) -> RamboParams {
     let b = paper_buckets_for(k);
     let r = if fastq { 3 } else { 2 };
-    let per_bucket = (((k as f64 / b as f64) * mean_terms as f64)
-        * rambo_core::theory::gamma(b, 2))
-    .ceil()
-    .max(64.0) as usize;
-    RamboParams::flat(
-        b,
-        r,
-        rambo_bloom::params::optimal_m(per_bucket, p),
-        2,
-        seed,
-    )
+    let per_bucket = (((k as f64 / b as f64) * mean_terms as f64) * rambo_core::theory::gamma(b, 2))
+        .ceil()
+        .max(64.0) as usize;
+    RamboParams::flat(b, r, rambo_bloom::params::optimal_m(per_bucket, p), 2, seed)
 }
 
 /// One built index with its construction time.
@@ -98,7 +97,11 @@ pub fn build_suite(
     let mut out: Vec<BuiltIndex> = Vec::new();
 
     let params = paper_rambo_params(k, mean_terms, fastq, seed);
-    let (rambo, t) = time(|| build_rambo(params, docs));
+    // Single ingestion thread: the suite's construction-time columns compare
+    // against single-threaded COBS/BIGSI/SBT builds, so RAMBO must not get a
+    // hidden multi-core advantage here (the thread fan-out is measured
+    // separately by the ingest_throughput bin).
+    let (rambo, t) = time(|| build_rambo_threads(params, docs, 1));
     out.push(BuiltIndex {
         index: Box::new(RamboIndex::new(rambo.clone())),
         build_time: t,
@@ -143,16 +146,30 @@ pub fn build_suite(
     out
 }
 
-/// Build a RAMBO index from a batch.
+/// Build a RAMBO index from a batch through the batch-parallel ingestion
+/// engine, using all available cores for the per-repetition fan-out.
 #[must_use]
 pub fn build_rambo(params: RamboParams, docs: &[(String, Vec<u64>)]) -> Rambo {
+    build_rambo_threads(params, docs, default_threads())
+}
+
+/// [`build_rambo`] with an explicit ingestion thread budget (`1` forces the
+/// sequential path; the resulting index is bit-identical either way).
+#[must_use]
+pub fn build_rambo_threads(
+    params: RamboParams,
+    docs: &[(String, Vec<u64>)],
+    threads: usize,
+) -> Rambo {
     let mut r = Rambo::new(params).expect("valid params");
     for (name, terms) in docs {
-        r.insert_document(name, terms.iter().copied())
+        r.insert_document_batch_with(name, terms, threads)
             .expect("unique names");
     }
     r
 }
+
+pub use rambo_core::default_threads;
 
 /// Time a query workload: mean wall time per query over `terms`.
 #[must_use]
@@ -166,6 +183,87 @@ pub fn mean_query_time(index: &dyn MembershipIndex, terms: &[u64]) -> Duration {
         touched
     });
     total / terms.len() as u32
+}
+
+/// Minimal JSON-object writer for the machine-readable `BENCH_*.json`
+/// artifacts the throughput benchmarks emit (no external JSON dependency;
+/// keys keep insertion order so diffs across PRs stay readable).
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// Start a report for the named benchmark.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        let mut r = Self::default();
+        r.str("bench", bench);
+        r
+    }
+
+    /// Add a string field (JSON-escaped, including all control characters).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        use std::fmt::Write;
+        let mut escaped = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                '\r' => escaped.push_str("\\r"),
+                '\t' => escaped.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    write!(escaped, "\\u{:04x}", c as u32).expect("string write");
+                }
+                c => escaped.push(c),
+            }
+        }
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add a float field. Values at or above 1e-3 in magnitude use fixed
+    /// 6-decimal notation (stable across runs for diffing); smaller non-zero
+    /// values switch to scientific notation so they are not flattened to
+    /// `0.000000`.
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value == 0.0 || value.abs() >= 1e-3 {
+            format!("{value:.6}")
+        } else {
+            format!("{value:.6e}")
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Render the JSON object.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
+    /// Write the report to `path` and echo it to stdout.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let rendered = self.render();
+        print!("{rendered}");
+        std::fs::write(path, rendered)
+    }
 }
 
 /// Minimal `--key value` argument parser for the harness binaries.
@@ -200,19 +298,25 @@ impl Args {
     /// Look up a `usize` flag.
     #[must_use]
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Look up a `u64` flag.
     #[must_use]
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Look up an `f64` flag.
     #[must_use]
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Look up a boolean flag (present without value = true).
@@ -236,10 +340,7 @@ impl Args {
     pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
         match self.get(key) {
             None => default.to_vec(),
-            Some(v) => v
-                .split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect(),
+            Some(v) => v.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
         }
     }
 }

@@ -9,13 +9,12 @@
 
 use crate::error::DecodeError;
 use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 
 const WORD_BITS: usize = 64;
 const MAGIC: &[u8; 4] = b"RBV1";
 
 /// A fixed-length dense bit vector.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitVec {
     len: usize,
     words: Vec<u64>,
@@ -335,13 +334,20 @@ impl BitVec {
         let len = usize::try_from(buf.get_u64_le())
             .map_err(|_| DecodeError::new("bitvec length exceeds address space"))?;
         let n_words = word_count(len);
-        if buf.remaining() < n_words * 8 {
+        let payload_len = n_words
+            .checked_mul(8)
+            .ok_or_else(|| DecodeError::new("bitvec size overflow"))?;
+        if buf.remaining() < payload_len {
             return Err(DecodeError::new("bitvec payload truncated"));
         }
+        // Bulk chunked decode (mirrors BfuMatrix::decode_from).
         let mut words = Vec::with_capacity(n_words);
-        for _ in 0..n_words {
-            words.push(buf.get_u64_le());
-        }
+        words.extend(
+            buf[..payload_len]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8"))),
+        );
+        buf.advance(payload_len);
         let v = Self { len, words };
         let mut check = v.clone();
         check.mask_tail();

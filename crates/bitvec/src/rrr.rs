@@ -110,7 +110,11 @@ impl BitWriter {
                 self.words.push(0);
             }
             let take = remaining.min(64 - bit);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.words[word] |= (v & mask) << bit;
             v >>= take;
             self.len += take;
@@ -195,7 +199,11 @@ impl RrrVec {
     #[inline]
     fn class_of(&self, block: usize) -> usize {
         let byte = self.classes[block / 2];
-        usize::from(if block.is_multiple_of(2) { byte & 0x0F } else { byte >> 4 })
+        usize::from(if block.is_multiple_of(2) {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        })
     }
 
     /// Locate `block`: returns (ones before block, offset bit-pos of block).

@@ -8,14 +8,13 @@
 //! evaluation, included to exercise that claim.
 
 use rambo_hash::HashPair;
-use serde::{Deserialize, Serialize};
 
 /// A counting Bloom filter with `u8` saturating counters.
 ///
 /// Counters saturate at 255 and, once saturated, are never decremented (the
 /// classic soundness rule: decrementing a saturated counter could introduce
 /// false negatives).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountingBloomFilter {
     counters: Vec<u8>,
     eta: u32,

@@ -5,7 +5,6 @@ use crate::params::BloomParams;
 use bytes::{Buf, BufMut};
 use rambo_bitvec::{BitVec, DecodeError};
 use rambo_hash::HashPair;
-use serde::{Deserialize, Serialize};
 
 const MAGIC: &[u8; 4] = b"RBF1";
 
@@ -26,7 +25,7 @@ const MAGIC: &[u8; 4] = b"RBF1";
 /// f.insert_bytes(b"ACGTACGTACGTACGT");
 /// assert!(f.contains_bytes(b"ACGTACGTACGTACGT")); // never a false negative
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     params: BloomParams,
     bits: BitVec,

@@ -8,12 +8,10 @@
 //! scale; we implement the same expressions and validate them empirically in
 //! the test suite.
 
-use serde::{Deserialize, Serialize};
-
 /// Construction parameters shared by every filter that must be mergeable:
 /// identical `m_bits`, `eta` and `seed` are required for OR-union to equal
 /// set-union (checked by [`crate::BloomFilter::union_assign`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BloomParams {
     /// Filter length in bits (`m`).
     pub m_bits: usize,

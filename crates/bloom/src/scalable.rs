@@ -12,14 +12,13 @@
 use crate::filter::BloomFilter;
 use crate::params::{optimal_eta_for_fpr, optimal_m, BloomParams};
 use rambo_hash::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// Growth factor for slice capacities (Almeida et al. recommend 2–4).
 const GROWTH: usize = 2;
 
 /// A Bloom filter that grows to fit its input while honouring a compounded
 /// false-positive budget.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalableBloomFilter {
     slices: Vec<BloomFilter>,
     /// Capacity (keys) of each slice, parallel to `slices`.
@@ -50,12 +49,7 @@ impl ScalableBloomFilter {
     /// # Panics
     /// Panics on out-of-range arguments.
     #[must_use]
-    pub fn with_tightening(
-        initial_capacity: usize,
-        fpr: f64,
-        tightening: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn with_tightening(initial_capacity: usize, fpr: f64, tightening: f64, seed: u64) -> Self {
         assert!(initial_capacity > 0, "capacity must be positive");
         assert!(fpr > 0.0 && fpr < 1.0, "fpr must be in (0, 1)");
         assert!(
@@ -94,12 +88,13 @@ impl ScalableBloomFilter {
 
     /// Insert a byte key, growing if the active slice is at capacity.
     pub fn insert_bytes(&mut self, key: &[u8]) {
-        if self.current_fill
-            >= self.capacities[self.slices.len() - 1]
-        {
+        if self.current_fill >= self.capacities[self.slices.len() - 1] {
             self.grow();
         }
-        self.slices.last_mut().expect("at least one slice").insert_bytes(key);
+        self.slices
+            .last_mut()
+            .expect("at least one slice")
+            .insert_bytes(key);
         self.current_fill += 1;
     }
 

@@ -204,10 +204,7 @@ mod tests {
     fn fold_unavailable_cases() {
         let (mut r, _) = build(6, 10, 7); // 6 → 3 (odd) → error on second fold
         r.fold_once().unwrap();
-        assert!(matches!(
-            r.fold_once(),
-            Err(RamboError::FoldUnavailable(_))
-        ));
+        assert!(matches!(r.fold_once(), Err(RamboError::FoldUnavailable(_))));
         let (mut tiny, _) = build(2, 5, 8);
         assert!(matches!(
             tiny.fold_once(),

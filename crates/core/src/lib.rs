@@ -31,6 +31,10 @@
 //!   plain and **RAMBO+** sparse evaluation ([`QueryMode`]), large-sequence
 //!   queries with first-FALSE early exit (§3.3.1), and §5.3 **fold-over**
 //!   (halve `B` by OR-ing filter halves, trading memory for FPR).
+//! * [`Rambo::insert_document_batch`]/[`QueryBatch`] — the batch-parallel
+//!   execution engine: deduplicated hash-once-per-repetition ingestion with
+//!   row-grouped writes fanned over scoped threads, and shared-scratch batch
+//!   querying with per-term bucket-mask memoization.
 //! * [`RamboBuilder`]/[`RamboParams`] — parameter selection following §4/§5.1
 //!   (`B ≈ √(KV/η)`, `R ≈ log K − log δ`, BFU sizing by pooled cardinality).
 //! * [`sharded`] — the distributed construction of §5.3: two-level hash
@@ -63,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod builder;
 mod error;
 mod fold;
@@ -75,6 +80,7 @@ mod serialize;
 pub mod sharded;
 pub mod theory;
 
+pub use batch::{default_threads, QueryBatch};
 pub use builder::RamboBuilder;
 pub use error::RamboError;
 pub use index::{DocId, Rambo};

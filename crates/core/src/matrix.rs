@@ -73,6 +73,21 @@ impl BfuMatrix {
         }
     }
 
+    /// Set one bucket's bit in every listed filter row. The batch engine
+    /// stages rows pre-sorted so this walks the row-major storage
+    /// monotonically — sequential cache lines instead of the term-order
+    /// hopping of repeated [`BfuMatrix::insert`] calls.
+    #[inline]
+    pub(crate) fn set_rows(&mut self, bucket: usize, rows: &[usize]) {
+        debug_assert!(bucket < self.buckets);
+        let word = bucket / 64;
+        let bit = 1u64 << (bucket % 64);
+        for &p in rows {
+            debug_assert!(p < self.m_bits);
+            self.words[p * self.row_words + word] |= bit;
+        }
+    }
+
     /// Which BFUs contain *all* the given terms: AND of the probed rows,
     /// written into `mask` (a `B`-bit vector). This is the whole per-table
     /// probe phase of Algorithm 2 — `η·|pairs|` sequential row reads.
@@ -112,8 +127,7 @@ impl BfuMatrix {
         let (word, bit) = (bucket / 64, bucket % 64);
         BitVec::from_ones(
             self.m_bits,
-            (0..self.m_bits)
-                .filter(|p| (self.words[p * self.row_words + word] >> bit) & 1 == 1),
+            (0..self.m_bits).filter(|p| (self.words[p * self.row_words + word] >> bit) & 1 == 1),
         )
     }
 
@@ -262,13 +276,21 @@ impl BfuMatrix {
         let n_words = m_bits
             .checked_mul(row_words)
             .ok_or_else(|| DecodeError::new("matrix size overflow"))?;
-        if buf.remaining() < n_words * 8 {
+        let payload_len = n_words
+            .checked_mul(8)
+            .ok_or_else(|| DecodeError::new("matrix size overflow"))?;
+        if buf.remaining() < payload_len {
             return Err(DecodeError::new("bfu matrix payload truncated").into());
         }
+        // Bulk chunked decode of the word payload (one pass, no per-element
+        // cursor bookkeeping).
         let mut words = Vec::with_capacity(n_words);
-        for _ in 0..n_words {
-            words.push(buf.get_u64_le());
-        }
+        words.extend(
+            buf[..payload_len]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8"))),
+        );
+        buf.advance(payload_len);
         // Validate row tails: bits beyond `buckets` must be clear.
         let tail = buckets % 64;
         if tail != 0 {
@@ -355,9 +377,7 @@ mod tests {
         let mut m = BfuMatrix::new(4096, 10);
         m.insert(7, pair(42), 4);
         let col = m.column(7);
-        let expected: Vec<usize> = (0..4)
-            .map(|i| pair(42).index(i, 4096) as usize)
-            .collect();
+        let expected: Vec<usize> = (0..4).map(|i| pair(42).index(i, 4096) as usize).collect();
         for p in expected {
             assert!(col.get(p));
         }

@@ -2,7 +2,6 @@
 
 use crate::error::RamboError;
 use crate::partition::PartitionScheme;
-use serde::{Deserialize, Serialize};
 
 /// Full parameter set of a RAMBO index.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// functions (Bloom family, `R` partition hashes, node router) derive
 /// deterministically from `seed` — the paper's §5.3 requires every machine to
 /// share them so fold-over and stacking stay lossless.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RamboParams {
     /// Document partition layout (the `B` of the paper).
     pub partition: PartitionScheme,

@@ -2,10 +2,9 @@
 //! its bucket in each repetition.
 
 use rambo_hash::{PartitionHasher, SplitMix64, TwoLevelHash};
-use serde::{Deserialize, Serialize};
 
 /// How the `B` buckets of each repetition are laid out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionScheme {
     /// Single-machine layout: `φᵢ(name)` directly in `[0, buckets)`.
     Flat {
@@ -60,7 +59,7 @@ pub(crate) struct DerivedSeeds {
 
 /// Maps `(repetition, document name)` to a bucket in the *unfolded* range
 /// `[0, B₀)`. Fold-over composes this with `mod current_B` at the call site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Resolver {
     /// One independent 2-universal hasher per repetition.
     Flat(Vec<PartitionHasher>),

@@ -55,6 +55,8 @@ pub struct QueryContext {
     probes: Vec<u8>,
     /// Live candidates (Sparse mode).
     candidates: Vec<DocId>,
+    /// Per-document hit counts for θ-threshold sequence queries.
+    counts: Vec<u32>,
 }
 
 impl Default for QueryContext {
@@ -74,11 +76,26 @@ impl QueryContext {
             tbl: BitVec::zeros(0),
             probes: Vec::new(),
             candidates: Vec::new(),
+            counts: Vec::new(),
         }
     }
 
-    fn ensure(&mut self, docs: usize, buckets: usize) {
-        if self.acc.len() != docs {
+    /// Size the scratch buffers for an index with `docs` documents and
+    /// `buckets` buckets.
+    ///
+    /// **Invariant: buffer reuse is monotonic.** `acc`/`tbl`/`probes`/
+    /// `counts` only ever grow, so a context alternating between indexes of
+    /// different geometry keeps its largest allocation instead of thrashing
+    /// the allocator. This is sound because every query path fully
+    /// re-initializes the prefix it reads: `tbl` is cleared per repetition,
+    /// `acc` is overwritten from `tbl` at repetition 0 (and only documents
+    /// `< docs` are ever set), `probes[..buckets]` is zeroed per repetition,
+    /// and `counts[..docs]` is zeroed per θ-query. Only `mask` is kept at
+    /// exactly `buckets` bits: [`crate::matrix::BfuMatrix::probe_all_into`]
+    /// requires the mask length to equal the column count, and `set_all`'s
+    /// tail masking depends on the true length.
+    pub(crate) fn ensure(&mut self, docs: usize, buckets: usize) {
+        if self.acc.len() < docs {
             self.acc = BitVec::zeros(docs);
             self.tbl = BitVec::zeros(docs);
         }
@@ -88,6 +105,13 @@ impl QueryContext {
         if self.probes.len() < buckets {
             self.probes.resize(buckets, 0);
         }
+    }
+
+    /// Mutable access to the Full-mode scratch (`acc`, `tbl`, `mask`) for
+    /// the batch engine in [`crate::batch`]. Call [`QueryContext::ensure`]
+    /// first.
+    pub(crate) fn full_mode_buffers(&mut self) -> (&mut BitVec, &mut BitVec, &mut BitVec) {
+        (&mut self.acc, &mut self.tbl, &mut self.mask)
     }
 }
 
@@ -307,10 +331,22 @@ impl Rambo {
             return Vec::new();
         }
         let needed = ((theta * terms.len() as f64).ceil() as usize).max(1);
-        let mut counts = vec![0u32; k];
+        // Counts live in the context (monotonic reuse — see
+        // [`QueryContext::ensure`]); only the `k`-prefix is read or written.
+        if ctx.counts.len() < k {
+            ctx.counts.resize(k, 0);
+        }
+        ctx.counts[..k].fill(0);
+        // Running maximum over all counts: increments only ever raise a
+        // single counter, so tracking the max incrementally replaces the
+        // former O(K) scan per term.
+        let mut max_count = 0usize;
         for (done, &term) in terms.iter().enumerate() {
-            for d in self.query_terms_with(&[term], mode, ctx) {
-                counts[d as usize] += 1;
+            let hits = self.query_terms_with(&[term], mode, ctx);
+            for d in hits {
+                let c = &mut ctx.counts[d as usize];
+                *c += 1;
+                max_count = max_count.max(*c as usize);
             }
             // Early exit: even if every remaining term hit every document,
             // nobody new can reach the threshold once the deficit is fatal.
@@ -318,12 +354,11 @@ impl Rambo {
             if remaining == 0 {
                 break;
             }
-            let best_possible = counts.iter().max().copied().unwrap_or(0) as usize + remaining;
-            if best_possible < needed {
+            if max_count + remaining < needed {
                 return Vec::new();
             }
         }
-        counts
+        ctx.counts[..k]
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c as usize >= needed)
@@ -421,7 +456,10 @@ mod tests {
                 nonempty += 1;
             }
         }
-        assert!(nonempty < 20, "too many false-positive result sets: {nonempty}");
+        assert!(
+            nonempty < 20,
+            "too many false-positive result sets: {nonempty}"
+        );
     }
 
     /// With independent per-repetition Bloom families, a Bloom failure in

@@ -18,9 +18,9 @@
 
 use crate::error::RamboError;
 use crate::index::{DocId, Rambo};
+use crate::matrix::BfuMatrix;
 use crate::params::RamboParams;
 use crate::partition::{derive_seeds, PartitionScheme, Resolver};
-use crate::matrix::BfuMatrix;
 use bytes::{Buf, BufMut};
 use rambo_bitvec::DecodeError;
 
@@ -176,7 +176,9 @@ impl Rambo {
             }
             let matrix = BfuMatrix::decode_from(buf)?;
             if matrix.m_bits() != bfu_bits || matrix.buckets() as u64 != current_buckets {
-                return Err(DecodeError::new("stored matrix geometry disagrees with header").into());
+                return Err(
+                    DecodeError::new("stored matrix geometry disagrees with header").into(),
+                );
             }
             table.matrix = matrix;
         }
@@ -185,11 +187,7 @@ impl Rambo {
             return Err(DecodeError::new("trailing bytes after RAMBO index").into());
         }
         for (id, name) in doc_names.iter().enumerate() {
-            if index
-                .name_index
-                .insert(name.clone(), id as DocId)
-                .is_some()
-            {
+            if index.name_index.insert(name.clone(), id as DocId).is_some() {
                 return Err(DecodeError::new(format!("duplicate document name {name}")).into());
             }
         }

@@ -51,12 +51,8 @@ impl ShardedRambo {
             ));
         };
         let seeds = derive_seeds(params.seed);
-        let router = Resolver::shared_router(
-            nodes,
-            local_buckets,
-            params.repetitions,
-            seeds.partition,
-        );
+        let router =
+            Resolver::shared_router(nodes, local_buckets, params.repetitions, seeds.partition);
         let shards = (0..nodes)
             .map(|node| {
                 let local = RamboParams {
@@ -138,11 +134,15 @@ impl ShardedRambo {
             let mut txs = Vec::with_capacity(shards.len());
             let mut handles = Vec::with_capacity(shards.len());
             for mut shard in shards {
-                let (tx, rx) = crossbeam::channel::unbounded::<(String, Vec<u64>)>();
+                let (tx, rx) = std::sync::mpsc::channel::<(String, Vec<u64>)>();
                 txs.push(tx);
                 handles.push(scope.spawn(move || -> Result<Rambo, RamboError> {
                     for (name, terms) in rx {
-                        shard.insert_document(&name, terms)?;
+                        // One node = one worker thread: keep the per-document
+                        // batch insertion sequential (threads = 1) so the
+                        // node fan-out isn't multiplied by the batch engine's
+                        // per-repetition fan-out.
+                        shard.insert_document_batch_with(&name, &terms, 1)?;
                     }
                     Ok(shard)
                 }));
@@ -287,7 +287,9 @@ mod tests {
         // Sharded, sequential ingestion.
         let mut sharded = ShardedRambo::new(p).unwrap();
         for (name, terms) in &docs {
-            sharded.ingest_document(name, terms.iter().copied()).unwrap();
+            sharded
+                .ingest_document(name, terms.iter().copied())
+                .unwrap();
         }
         let stacked = sharded.stack().unwrap();
 
@@ -372,10 +374,7 @@ mod tests {
             s.ingest_document(&name, terms).unwrap();
         }
         s.shards[0].fold_once().unwrap();
-        assert!(matches!(
-            s.stack(),
-            Err(RamboError::FoldUnavailable(_))
-        ));
+        assert!(matches!(s.stack(), Err(RamboError::FoldUnavailable(_))));
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub fn required_repetitions_exact(k: usize, delta: f64, p: f64, b: u64, v: u32) 
         inner < 1.0,
         "per-repetition survival must be < 1 (p={p}, B={b}, V={v})"
     );
-    ((delta.ln() - (k as f64).ln()) / inner.ln()).ceil().max(1.0) as usize
+    ((delta.ln() - (k as f64).ln()) / inner.ln())
+        .ceil()
+        .max(1.0) as usize
 }
 
 /// **Lemma 4.4** — expected query time (in abstract "operations"):

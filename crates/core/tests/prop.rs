@@ -6,7 +6,7 @@
 //! losslessness of sharded construction.
 
 use proptest::prelude::*;
-use rambo_core::{build_sharded_parallel, QueryMode, Rambo, RamboParams};
+use rambo_core::{build_sharded_parallel, QueryBatch, QueryContext, QueryMode, Rambo, RamboParams};
 
 /// A random archive: documents with disjoint private terms plus a shared
 /// pool so multiplicity V > 1 occurs.
@@ -141,6 +141,60 @@ proptest! {
         idx.fold_times(folds).unwrap();
         let back = Rambo::from_bytes(&idx.to_bytes().unwrap()).unwrap();
         prop_assert_eq!(idx, back);
+    }
+
+    /// Batch insertion ([`Rambo::insert_document_batch_with`]) produces a
+    /// **bit-identical** index to term-at-a-time insertion — full structural
+    /// equality via `PartialEq`, for any geometry, any archive (duplicates
+    /// included), and any thread budget.
+    #[test]
+    fn batch_insertion_bit_identical_to_term_at_a_time(
+        archive in archive_strategy(16),
+        b in 2u64..16,
+        r in 1usize..5,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let params = RamboParams::flat(b, r, 1 << 11, 2, seed);
+        let mut serial = Rambo::new(params).unwrap();
+        let mut batch = Rambo::new(params).unwrap();
+        for (name, terms) in &archive.docs {
+            let d = serial.add_document(name).unwrap();
+            for &t in terms {
+                serial.insert_term_u64(d, t).unwrap();
+            }
+            batch.insert_document_batch_with(name, terms, threads).unwrap();
+        }
+        prop_assert_eq!(&serial, &batch, "threads = {}", threads);
+        prop_assert_eq!(serial.total_inserts(), batch.total_inserts());
+    }
+
+    /// [`QueryBatch`] returns exactly what per-call
+    /// [`Rambo::query_terms_with`] returns, in both evaluation modes, for
+    /// single- and multi-term queries with repeats (memoization hits).
+    #[test]
+    fn query_batch_equals_per_call(
+        archive in archive_strategy(14),
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let idx = build(RamboParams::flat(8, 3, 1 << 11, 2, seed), &archive);
+        let mut queries: Vec<Vec<u64>> = archive
+            .docs
+            .iter()
+            .map(|(_, ts)| ts.iter().take(3).copied().collect())
+            .collect();
+        queries.extend(probes.into_iter().map(|t| vec![t]));
+        queries.push(queries[0].clone()); // repeated query → memo hit
+        for mode in [QueryMode::Full, QueryMode::Sparse] {
+            let mut ctx = QueryContext::new();
+            let expected: Vec<_> = queries
+                .iter()
+                .map(|q| idx.query_terms_with(q, mode, &mut ctx))
+                .collect();
+            let mut qb = QueryBatch::new(&idx);
+            prop_assert_eq!(qb.run(&queries, mode), expected, "mode {:?}", mode);
+        }
     }
 
     /// Multi-term queries (Algorithm 2 semantics) always contain every

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn bytes_and_u64_paths_are_deterministic() {
-        assert_eq!(HashPair::of_bytes(b"ACGT", 5), HashPair::of_bytes(b"ACGT", 5));
+        assert_eq!(
+            HashPair::of_bytes(b"ACGT", 5),
+            HashPair::of_bytes(b"ACGT", 5)
+        );
         assert_eq!(HashPair::of_u64(77, 5), HashPair::of_u64(77, 5));
     }
 

@@ -15,7 +15,6 @@
 
 use crate::mix::SplitMix64;
 use crate::murmur3::murmur3_x64_64;
-use serde::{Deserialize, Serialize};
 
 /// The Mersenne prime `2^61 − 1` used as the field modulus.
 pub const MERSENNE_P61: u64 = (1 << 61) - 1;
@@ -34,7 +33,7 @@ fn mod_p61(x: u128) -> u64 {
 }
 
 /// A Carter–Wegman 2-universal hash `x ↦ ((a·x + b) mod p) mod range`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CarterWegman {
     a: u64,
     b: u64,
@@ -79,7 +78,7 @@ impl CarterWegman {
 ///
 /// The document name is first digested with MurmurHash3 (seeded identically
 /// everywhere), then pushed through a [`CarterWegman`] function into `[0, B)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionHasher {
     name_seed: u64,
     cw: CarterWegman,
@@ -127,7 +126,7 @@ impl PartitionHasher {
 /// `φ_i` on the documents `τ` routed to it) and by the monolithic index (which
 /// evaluates the composition directly), making the two constructions
 /// filter-identical.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwoLevelHash {
     tau_seed: u64,
     nodes: u64,

@@ -45,7 +45,10 @@ impl KmerSet {
         }
         v.sort_unstable();
         v.dedup();
-        Self { k: k as u8, kmers: v }
+        Self {
+            k: k as u8,
+            kmers: v,
+        }
     }
 
     /// Extract the distinct k-mer set of one sequence.

@@ -149,7 +149,12 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let cases: [&[u8]; 4] = [b"A", b"ACGT", b"TTTTTTTTTT", b"GATTACAGATTACAGATTACAGATTACAGAT"];
+        let cases: [&[u8]; 4] = [
+            b"A",
+            b"ACGT",
+            b"TTTTTTTTTT",
+            b"GATTACAGATTACAGATTACAGATTACAGAT",
+        ];
         for seq in cases {
             let packed = pack_kmer(seq).unwrap();
             assert_eq!(unpack_kmer(packed, seq.len()), seq, "{:?}", seq);
@@ -180,10 +185,7 @@ mod tests {
         // Full-length 31-mer against the string-level implementation.
         let seq = b"GATTACAGATTACAGATTACAGATTACAGAT";
         let packed = pack_kmer(seq).unwrap();
-        assert_eq!(
-            unpack_kmer(revcomp_kmer(packed, 31), 31),
-            revcomp_seq(seq)
-        );
+        assert_eq!(unpack_kmer(revcomp_kmer(packed, 31), 31), revcomp_seq(seq));
     }
 
     #[test]

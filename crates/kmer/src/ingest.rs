@@ -1,0 +1,208 @@
+//! Genomics ingestion glue: FASTA / FASTQ / k-mer sets → a RAMBO index,
+//! through the batch engine.
+//!
+//! The paper's pipeline treats one sequencing run or assembled genome as one
+//! document and its distinct 31-mers as the term set. These helpers connect
+//! the parsers in this crate to [`Rambo::insert_document_batch`]: terms
+//! arrive as whole per-document batches (already distinct when they come
+//! from a [`KmerSet`]), so the index hashes each unique k-mer once per
+//! repetition and writes the filter bits row-grouped instead of paying the
+//! term-at-a-time insertion path per k-mer.
+
+use crate::cortex::KmerSet;
+use crate::fasta::FastaReader;
+use crate::fastq::FastqReader;
+use crate::iter::kmers_of;
+use rambo_core::{DocId, Rambo, RamboError};
+use std::fmt;
+use std::io::{self, BufRead};
+
+/// Errors from streaming ingestion: parser I/O or index-level failures.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying reader failed or the input was malformed.
+    Io(io::Error),
+    /// The index rejected a document (duplicate name, …).
+    Index(RamboError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "ingestion I/O error: {e}"),
+            Self::Index(e) => write!(f, "ingestion index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Index(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<RamboError> for IngestError {
+    fn from(e: RamboError) -> Self {
+        Self::Index(e)
+    }
+}
+
+/// Insert a pre-extracted distinct k-mer set (one McCortex-style `.ctx`
+/// file) as one document.
+///
+/// # Errors
+/// [`RamboError::DuplicateDocument`] when the name is already indexed.
+pub fn insert_kmer_set(index: &mut Rambo, name: &str, set: &KmerSet) -> Result<DocId, RamboError> {
+    index.insert_document_batch(name, set.kmers())
+}
+
+/// Insert one raw sequence (an assembled genome) as one document: extract
+/// its k-mers and batch-insert them.
+///
+/// # Errors
+/// [`RamboError::DuplicateDocument`] when the name is already indexed.
+pub fn insert_sequence(
+    index: &mut Rambo,
+    name: &str,
+    seq: &[u8],
+    k: usize,
+    canonical: bool,
+) -> Result<DocId, RamboError> {
+    let terms: Vec<u64> = kmers_of(seq, k, canonical).collect();
+    index.insert_document_batch(name, &terms)
+}
+
+/// Ingest a FASTA stream: every record becomes one document named by its
+/// header, with the record's k-mers as terms.
+///
+/// # Errors
+/// [`IngestError::Io`] on malformed FASTA or reader failure,
+/// [`IngestError::Index`] on duplicate headers. Documents ingested before
+/// the failure remain in the index.
+pub fn insert_fasta_documents<R: BufRead>(
+    index: &mut Rambo,
+    reader: FastaReader<R>,
+    k: usize,
+    canonical: bool,
+) -> Result<Vec<DocId>, IngestError> {
+    let mut ids = Vec::new();
+    for record in reader {
+        let record = record?;
+        ids.push(insert_sequence(
+            index,
+            &record.id,
+            &record.seq,
+            k,
+            canonical,
+        )?);
+    }
+    Ok(ids)
+}
+
+/// Ingest a FASTQ stream as **one** document (the genomics convention: one
+/// sequencing run per file): the distinct k-mers across all reads become the
+/// document's term set.
+///
+/// # Errors
+/// [`IngestError::Io`] on malformed FASTQ or reader failure,
+/// [`IngestError::Index`] on a duplicate document name.
+pub fn insert_fastq_document<R: BufRead>(
+    index: &mut Rambo,
+    name: &str,
+    reader: FastqReader<R>,
+    k: usize,
+    canonical: bool,
+) -> Result<DocId, IngestError> {
+    let mut kmers: Vec<u64> = Vec::new();
+    for record in reader {
+        let record = record?;
+        kmers.extend(kmers_of(&record.seq, k, canonical));
+    }
+    Ok(index.insert_document_batch(name, &kmers)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rambo_core::RamboParams;
+    use std::io::Cursor;
+
+    fn index() -> Rambo {
+        Rambo::new(RamboParams::flat(8, 3, 1 << 12, 2, 5)).unwrap()
+    }
+
+    #[test]
+    fn fasta_records_become_documents() {
+        let fasta = ">g1\nACGTACGTACGT\n>g2\nTTTTGGGGCCCC\n";
+        let mut idx = index();
+        let ids = insert_fasta_documents(&mut idx, FastaReader::new(Cursor::new(fasta)), 5, false)
+            .unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(idx.document_name(0), "g1");
+        // A k-mer of g1 finds g1.
+        let probe = kmers_of(b"ACGTACGTACGT", 5, false).next().unwrap();
+        assert!(idx.query_u64(probe).contains(&0));
+    }
+
+    #[test]
+    fn fasta_errors_propagate() {
+        let bad = "ACGT\n>late\nAC\n"; // data before first header
+        let mut idx = index();
+        let err = insert_fasta_documents(&mut idx, FastaReader::new(Cursor::new(bad)), 4, false);
+        assert!(matches!(err, Err(IngestError::Io(_))));
+    }
+
+    #[test]
+    fn fastq_file_is_one_document() {
+        let fastq = "@r1\nACGTACGT\n+\nFFFFFFFF\n@r2\nGGGGCCCC\n+\nFFFFFFFF\n";
+        let mut idx = index();
+        let d = insert_fastq_document(
+            &mut idx,
+            "run-1",
+            FastqReader::new(Cursor::new(fastq)),
+            4,
+            false,
+        )
+        .unwrap();
+        assert_eq!(idx.num_documents(), 1);
+        let probe = kmers_of(b"ACGTACGT", 4, false).next().unwrap();
+        assert!(idx.query_u64(probe).contains(&d));
+    }
+
+    #[test]
+    fn kmer_set_ingestion_matches_sequence_ingestion() {
+        let seq = b"ACGTTGCAACGTGGGTACCA";
+        let set = KmerSet::from_sequence(seq, 7, true);
+        let mut via_set = index();
+        let mut via_seq = index();
+        insert_kmer_set(&mut via_set, "doc", &set).unwrap();
+        insert_sequence(&mut via_seq, "doc", seq, 7, true).unwrap();
+        // Same distinct k-mers → same filter bits; only the multiplicity
+        // accounting may differ (the raw sequence repeats k-mers).
+        for kmer in set.kmers() {
+            assert_eq!(via_set.query_u64(*kmer), via_seq.query_u64(*kmer));
+        }
+    }
+
+    #[test]
+    fn duplicate_names_surface_as_index_errors() {
+        let mut idx = index();
+        insert_kmer_set(
+            &mut idx,
+            "dup",
+            &KmerSet::from_sequence(b"ACGTACGT", 4, false),
+        )
+        .unwrap();
+        let err = insert_kmer_set(&mut idx, "dup", &KmerSet::from_sequence(b"TTTT", 4, false));
+        assert!(matches!(err, Err(RamboError::DuplicateDocument(_))));
+    }
+}

@@ -24,6 +24,7 @@ pub mod cortex;
 pub mod encode;
 pub mod fasta;
 pub mod fastq;
+pub mod ingest;
 mod iter;
 pub mod sim;
 
@@ -31,6 +32,9 @@ pub use cortex::KmerSet;
 pub use encode::{canonical_kmer, pack_kmer, revcomp_kmer, revcomp_seq, unpack_kmer};
 pub use fasta::{FastaReader, FastaRecord};
 pub use fastq::{FastqReader, FastqRecord};
+pub use ingest::{
+    insert_fasta_documents, insert_fastq_document, insert_kmer_set, insert_sequence, IngestError,
+};
 pub use iter::{kmers_of, KmerIter};
 
 /// The paper's k-mer length: every headline experiment uses `k = 31`.

@@ -170,7 +170,10 @@ mod tests {
             "mean distinct terms {mean} too far from requested 100"
         );
         for d in &c.docs {
-            assert!(d.terms.windows(2).all(|w| w[0] < w[1]), "terms sorted+unique");
+            assert!(
+                d.terms.windows(2).all(|w| w[0] < w[1]),
+                "terms sorted+unique"
+            );
             assert!(d.terms.iter().all(|&t| t < 5_000));
         }
     }
@@ -209,7 +212,10 @@ mod tests {
         let head: u32 = hist[..10].iter().sum();
         let mid: u32 = hist[100..110].iter().sum();
         let tail: u32 = hist[900..910].iter().sum();
-        assert!(head > mid && mid > tail, "head {head}, mid {mid}, tail {tail}");
+        assert!(
+            head > mid && mid > tail,
+            "head {head}, mid {mid}, tail {tail}"
+        );
     }
 
     #[test]

@@ -3,16 +3,16 @@
 
 /// A compact English stop-word list (the usual IR function words).
 pub const STOP_WORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are",
-    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
-    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
-    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
-    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
-    "out", "over", "own", "s", "same", "she", "should", "so", "some", "such", "t", "than",
-    "that", "the", "their", "them", "then", "there", "these", "they", "this", "those",
-    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what",
-    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "you", "your",
+    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
+    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor",
+    "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own",
+    "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "you", "your",
 ];
 
 /// True if `word` (already lowercase) is a stop word.
@@ -66,15 +66,15 @@ mod tests {
 
     #[test]
     fn tokenize_drops_stop_words() {
-        assert_eq!(
-            tokenize("the cat and the hat"),
-            vec!["cat", "hat"]
-        );
+        assert_eq!(tokenize("the cat and the hat"), vec!["cat", "hat"]);
     }
 
     #[test]
     fn tokenize_keeps_numbers() {
-        assert_eq!(tokenize("covid 19 outbreak"), vec!["covid", "19", "outbreak"]);
+        assert_eq!(
+            tokenize("covid 19 outbreak"),
+            vec!["covid", "19", "outbreak"]
+        );
     }
 
     #[test]

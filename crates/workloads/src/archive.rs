@@ -17,10 +17,10 @@
 //!   on ingestion, so error noise inflates the k-mer sets exactly as the
 //!   paper describes for raw-read inputs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rambo_kmer::sim::GenomeSimulator;
 use rambo_kmer::KmerSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Shape of a synthetic archive.
 #[derive(Debug, Clone, Copy)]

@@ -237,13 +237,7 @@ mod tests {
             queries: vec![(100, vec![0, 1]), (101, vec![2])],
         };
         // An oracle with one extra doc on the second query.
-        let m = q.measure(10, |t| {
-            if t == 100 {
-                vec![0, 1]
-            } else {
-                vec![2, 7]
-            }
-        });
+        let m = q.measure(10, |t| if t == 100 { vec![0, 1] } else { vec![2, 7] });
         assert_eq!(m.false_positives, 1);
         assert_eq!(m.negatives, (10 - 2) + (10 - 1));
         assert_eq!(m.affected_queries, 1);

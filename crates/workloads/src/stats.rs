@@ -50,7 +50,10 @@ pub fn median(xs: &[f64]) -> f64 {
 #[must_use]
 pub fn geo_mean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty());
-    assert!(xs.iter().all(|&x| x > 0.0), "geo_mean needs positive values");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geo_mean needs positive values"
+    );
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 

@@ -35,8 +35,8 @@ fn main() {
         RamboParams::two_level(NODES, LOCAL_BUCKETS, REPETITIONS, bfu_bits, 2, 0xC1C1);
 
     let start = std::time::Instant::now();
-    let index = build_sharded_parallel(rambo_params, archive.docs.clone())
-        .expect("sharded build succeeds");
+    let index =
+        build_sharded_parallel(rambo_params, archive.docs.clone()).expect("sharded build succeeds");
     println!(
         "parallel build on {NODES} simulated nodes: {:?} (B = {} x R = {REPETITIONS})",
         start.elapsed(),

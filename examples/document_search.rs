@@ -68,10 +68,7 @@ fn main() {
         println!("'{query}' -> {:?}", index.resolve_names(&hits));
     }
     // Conjunction: documents containing BOTH words (Algorithm 2 semantics).
-    let both = index.query_terms_u64(
-        &[term_of("bloom"), term_of("membership")],
-        QueryMode::Full,
-    );
+    let both = index.query_terms_u64(&[term_of("bloom"), term_of("membership")], QueryMode::Full);
     println!(
         "'bloom' AND 'membership' -> {:?}\n",
         index.resolve_names(&both)

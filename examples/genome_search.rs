@@ -11,9 +11,9 @@
 //! ```
 
 use rambo::baselines::{InvertedIndex, MembershipIndex};
-use rambo::core::{QueryContext, QueryMode, RamboBuilder};
+use rambo::core::{QueryBatch, QueryContext, QueryMode, RamboBuilder};
 use rambo::kmer::sim::GenomeSimulator;
-use rambo::kmer::{kmers_of, KmerSet};
+use rambo::kmer::{insert_kmer_set, kmers_of, KmerSet};
 
 const K: usize = 31;
 const GENOME_LEN: usize = 20_000;
@@ -37,16 +37,22 @@ fn main() {
     println!("simulated {} genomes of {} bp", genomes.len(), GENOME_LEN);
 
     // --- 2. Sequence + extract k-mers (FASTQ -> McCortex-like sets) ------
-    let mut docs: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut sets: Vec<(String, KmerSet)> = Vec::new();
     for (name, genome) in &genomes {
         let reads = sim.simulate_reads(genome, 150, 6.0, 0.002);
         let set = KmerSet::from_sequences(reads.iter().map(|r| r.seq.as_slice()), K, false);
-        docs.push((name.clone(), set.kmers().to_vec()));
+        sets.push((name.clone(), set));
     }
-    let mean_kmers = docs.iter().map(|(_, t)| t.len()).sum::<usize>() / docs.len();
+    let mean_kmers = sets.iter().map(|(_, s)| s.len()).sum::<usize>() / sets.len();
     println!("mean distinct {K}-mers per document: {mean_kmers}");
+    let docs: Vec<(String, Vec<u64>)> = sets
+        .iter()
+        .map(|(name, set)| (name.clone(), set.kmers().to_vec()))
+        .collect();
 
     // --- 3. Index with RAMBO (+ exact oracle for comparison) -------------
+    // Each k-mer set goes in through the batch-parallel ingestion engine
+    // (hash once per repetition, row-grouped writes, R-way thread fan-out).
     let mut index = RamboBuilder::new()
         .expected_documents(docs.len())
         .expected_terms_per_doc(mean_kmers)
@@ -55,10 +61,8 @@ fn main() {
         .seed(7)
         .build()
         .expect("valid parameters");
-    for (name, terms) in &docs {
-        index
-            .insert_document(name, terms.iter().copied())
-            .expect("unique names");
+    for (name, set) in &sets {
+        insert_kmer_set(&mut index, name, set).expect("unique names");
     }
     let oracle = InvertedIndex::build(&docs);
     println!(
@@ -95,7 +99,10 @@ fn main() {
             .filter(|&&t| oracle.postings(t).binary_search(&d).is_ok())
             .count();
         if truly >= needed {
-            assert!(hits.contains(&d), "RAMBO must return a superset of the truth");
+            assert!(
+                hits.contains(&d),
+                "RAMBO must return a superset of the truth"
+            );
         }
     }
 
@@ -116,4 +123,22 @@ fn main() {
     let query_kmers: Vec<u64> = kmers_of(&alien[..200], K, false).collect();
     let hits = index.query_sequence_theta(&query_kmers, 0.6, QueryMode::Sparse, &mut ctx);
     println!("unrelated fragment -> {} hits (expect 0)", hits.len());
+
+    // --- 7. Batch membership: which documents hold each probe k-mer? -----
+    // Overlapping windows share 30 of 31 k-mers between neighbours, so the
+    // memoizing batch engine probes each distinct k-mer once.
+    let probes: Vec<Vec<u64>> = genomes[target].1[5_000..5_200]
+        .windows(K)
+        .step_by(8)
+        .filter_map(|w| kmers_of(w, K, false).next().map(|km| vec![km]))
+        .collect();
+    let mut batch = QueryBatch::new(&index);
+    let results = batch.run(&probes, QueryMode::Full);
+    let owner = index.document_id(&genomes[target].0).expect("indexed");
+    let found = results.iter().filter(|r| r.contains(&owner)).count();
+    println!(
+        "batch membership: {found}/{} probe k-mers report the owner ({} distinct terms memoized)",
+        probes.len(),
+        batch.memoized_terms()
+    );
 }

@@ -26,10 +26,8 @@ fn suite(docs: &[(String, Vec<u64>)]) -> Vec<Box<dyn MembershipIndex>> {
     for (name, terms) in docs {
         rambo.insert_document(name, terms.iter().copied()).unwrap();
     }
-    let m_tree = rambo::bloom::params::optimal_m(
-        docs.iter().map(|(_, t)| t.len()).max().unwrap(),
-        0.01,
-    );
+    let m_tree =
+        rambo::bloom::params::optimal_m(docs.iter().map(|(_, t)| t.len()).max().unwrap(), 0.01);
     vec![
         Box::new(RamboIndex::new(rambo.clone())),
         Box::new(RamboPlusIndex::new(rambo)),

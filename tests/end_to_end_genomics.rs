@@ -21,7 +21,11 @@ fn build_archive() -> (DocKmers, Genomes) {
     let mut genomes = Vec::new();
     for f in 0..4 {
         let ancestor = sim.random_genome(4000);
-        for (s, strain) in sim.derive_family(&ancestor, 3, 0.01).into_iter().enumerate() {
+        for (s, strain) in sim
+            .derive_family(&ancestor, 3, 0.01)
+            .into_iter()
+            .enumerate()
+        {
             genomes.push((format!("f{f}s{s}"), strain));
         }
     }

@@ -21,13 +21,7 @@ fn build(k: usize, b: u64, r: usize, seed: u64) -> (Rambo, Vec<(String, Vec<u64>
     (Rambo::new(params).unwrap(), archive.docs)
 }
 
-fn build_with_planted(
-    k: usize,
-    b: u64,
-    r: usize,
-    seed: u64,
-    planted: &PlantedQueries,
-) -> Rambo {
+fn build_with_planted(k: usize, b: u64, r: usize, seed: u64, planted: &PlantedQueries) -> Rambo {
     let (mut index, mut docs) = build(k, b, r, seed);
     planted.plant_into(&mut docs);
     for (name, terms) in &docs {
@@ -93,7 +87,10 @@ fn folding_trades_memory_for_fpr() {
         !rates.windows(2).all(|w| w[1] <= w[0] + 1e-9) || rates[2] >= rates[0],
         "FPR must not fall as memory shrinks: {rates:?}"
     );
-    assert!(rates[2] >= rates[0], "3rd fold FPR below baseline: {rates:?}");
+    assert!(
+        rates[2] >= rates[0],
+        "3rd fold FPR below baseline: {rates:?}"
+    );
 }
 
 #[test]
@@ -127,11 +124,7 @@ fn overall_bound_holds_empirically() {
 fn exponential_multiplicities_match_paper_setup() {
     // The α=100 exponential of §5.2: mean multiplicity ≈ 1 + α.
     let planted = PlantedQueries::generate(3000, 100_000, 100.0, 29);
-    let mean = planted
-        .queries
-        .iter()
-        .map(|(_, t)| t.len())
-        .sum::<usize>() as f64
-        / planted.len() as f64;
+    let mean =
+        planted.queries.iter().map(|(_, t)| t.len()).sum::<usize>() as f64 / planted.len() as f64;
     assert!((85.0..120.0).contains(&mean), "mean V = {mean}");
 }

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored shim provides exactly the [`Buf`]/[`BufMut`] subset the workspace
+//! uses for its binary codecs: little-endian integer reads/writes over
+//! `&[u8]` / `Vec<u8>`. The method names and semantics match the real crate
+//! so the code migrates transparently if a registry becomes available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Read access to a contiguous buffer, advancing past consumed bytes.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Advance the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy `dst.len()` bytes into `dst` and advance.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Append access to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0xBEEF);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_slice(b"xyz");
+
+        let mut buf = out.as_slice();
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0xBEEF);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        let mut tail = [0u8; 3];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut buf = &data[..];
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overread_panics() {
+        let mut buf = &[1u8][..];
+        let _ = buf.get_u32_le();
+    }
+}

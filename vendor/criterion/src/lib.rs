@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io registry, so this shim implements
+//! the benchmarking API surface the workspace's `benches/` use — groups,
+//! throughput annotation, `iter`/`iter_batched`, `BenchmarkId` — on a plain
+//! wall-clock harness. No statistics beyond mean-of-samples and no HTML
+//! reports; each benchmark prints one line:
+//!
+//! ```text
+//! group/name            123.4 ns/iter  (8.1 Melem/s)
+//! ```
+//!
+//! Use with `harness = false` bench targets, exactly like real criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// Units for reporting rates alongside raw time, mirroring criterion.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` should pre-build per sample.
+/// Accepted for API compatibility; this harness always sets up per-iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// A parameterized benchmark name (`label/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Compose `label/parameter`.
+    pub fn new(label: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", label.into(), parameter),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.full
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.ns_per_iter);
+    }
+
+    /// Run one benchmark that closes over an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<String>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, ns_per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+                format!("  ({:.2} Melem/s)", n as f64 * 1e3 / ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+                format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 * 1e9 / ns_per_iter / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id:<40} {ns_per_iter:>12.1} ns/iter{rate}", self.name);
+    }
+}
+
+/// Drives the timed closure; passed to every benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time a routine, amortized over as many iterations as fit the budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and calibration: how many iterations fit one sample?
+        let cal_start = Instant::now();
+        let mut cal_iters: u64 = 0;
+        while cal_start.elapsed() < self.warm_up || cal_iters == 0 {
+            black_box(routine());
+            cal_iters += 1;
+            if cal_iters >= 1 << 20 {
+                break;
+            }
+        }
+        let per_iter = cal_start.elapsed().as_nanos() as f64 / cal_iters as f64;
+        let sample_budget = self.budget.as_nanos() as f64 / self.samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos();
+            total_iters += iters_per_sample;
+        }
+        self.ns_per_iter = total_ns as f64 / total_iters as f64;
+    }
+
+    /// Time a routine whose input is rebuilt (untimed) before every call.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up: one call to page everything in.
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        while Instant::now() < deadline || total_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total_ns += t.elapsed().as_nanos();
+            total_iters += 1;
+            if total_iters >= 1 << 20 {
+                break;
+            }
+        }
+        self.ns_per_iter = total_ns as f64 / total_iters as f64;
+    }
+}
+
+/// Bundle benchmark functions into one runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        let mut x = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        g.bench_function(BenchmarkId::new("batched", 7), |b| {
+            b.iter_batched(|| 1u64, |v| v + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
