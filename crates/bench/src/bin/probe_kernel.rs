@@ -1,0 +1,159 @@
+//! Probe-kernel benchmark: the row-at-a-time scalar AND loop (the
+//! pre-kernel query hot path) vs the fused 4-row word-parallel kernel of
+//! [`rambo_bitvec::kernel`], on tables well past the last-level cache —
+//! plus the storage backends: copying [`Rambo::from_bytes`] load vs the
+//! zero-copy [`Rambo::open_view`], with query parity asserted between them.
+//!
+//! Emits `BENCH_probe.json`.
+//!
+//! ```text
+//! cargo run --release -p rambo-bench --bin probe_kernel -- \
+//!     --mask-words 524288 --rows 16 --iters 5 --docs 200 --queries 500
+//! ```
+
+use rambo_bench::{build_rambo, paper_rambo_params, Args, JsonReport};
+use rambo_bitvec::kernel;
+use rambo_core::{QueryContext, QueryMode, Rambo};
+use rambo_hash::SplitMix64;
+use rambo_workloads::timing::time;
+use rambo_workloads::{ArchiveParams, SyntheticArchive};
+use std::sync::Arc;
+
+/// Row-at-a-time baseline: one pass over the mask per probed row, exactly
+/// like the pre-kernel `probe_all_into` loop.
+fn probe_scalar(mask: &mut [u64], rows: &[u64], mask_words: usize) {
+    mask.fill(u64::MAX);
+    for row in rows.chunks_exact(mask_words) {
+        kernel::and_into_scalar(mask, row);
+    }
+}
+
+/// Fused kernel: four rows ANDed into the mask per pass, early-exiting the
+/// moment the mask dies (it does not on random rows of this density).
+fn probe_vectorized(mask: &mut [u64], rows: &[u64], mask_words: usize) {
+    mask.fill(u64::MAX);
+    let mut chunks = rows.chunks_exact(4 * mask_words);
+    for quad in &mut chunks {
+        let (r0, rest) = quad.split_at(mask_words);
+        let (r1, rest) = rest.split_at(mask_words);
+        let (r2, r3) = rest.split_at(mask_words);
+        if !kernel::and_rows_into_any(mask, [r0, r1, r2, r3]) {
+            return;
+        }
+    }
+    for row in chunks.remainder().chunks_exact(mask_words) {
+        if !kernel::and_rows_into_any(mask, [row]) {
+            return;
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mask_words = args.get_usize("mask-words", 1 << 19); // 4 MiB mask
+    let n_rows = args.get_usize("rows", 16);
+    let iters = args.get_usize("iters", 5).max(1);
+    let docs = args.get_usize("docs", 200);
+    let mean_terms = args.get_usize("mean-terms", 400);
+    let n_queries = args.get_usize("queries", 500);
+    let seed = args.get_u64("seed", 7);
+
+    // ---- Kernel comparison on a >LLC table of random Bloom rows. ----
+    let mut rng = SplitMix64::new(seed);
+    let rows: Vec<u64> = (0..n_rows * mask_words).map(|_| rng.next_u64()).collect();
+    let table_bytes = rows.len() * 8;
+    let mut mask_s = vec![0u64; mask_words];
+    let mut mask_v = vec![0u64; mask_words];
+
+    let (_, t_scalar) = time(|| {
+        for _ in 0..iters {
+            probe_scalar(&mut mask_s, &rows, mask_words);
+        }
+    });
+    let (_, t_vec) = time(|| {
+        for _ in 0..iters {
+            probe_vectorized(&mut mask_v, &rows, mask_words);
+        }
+    });
+    assert_eq!(mask_s, mask_v, "kernels must be bit-identical");
+    let speedup = t_scalar.as_secs_f64() / t_vec.as_secs_f64();
+    eprintln!(
+        "probe kernel: {table_bytes} B table, {n_rows} rows × {iters} iters — \
+         scalar {:.2} ms, vectorized {:.2} ms ({speedup:.2}x)",
+        t_scalar.as_secs_f64() * 1e3,
+        t_vec.as_secs_f64() * 1e3,
+    );
+
+    // ---- Storage comparison: copying load vs zero-copy view. ----
+    let mut params = ArchiveParams::tiny(docs, seed);
+    params.mean_terms = mean_terms;
+    params.std_terms = mean_terms / 3;
+    let archive = SyntheticArchive::generate(&params);
+    let index = build_rambo(
+        paper_rambo_params(docs, mean_terms, false, seed),
+        &archive.docs,
+    );
+    let bytes = index.to_bytes().expect("serializable index");
+    let index_bytes = bytes.len();
+    let buf: Arc<[u8]> = bytes.into();
+
+    let (owned, t_load_owned) = time(|| Rambo::from_bytes(&buf).expect("valid index"));
+    let (view, t_load_view) = time(|| Rambo::open_view(buf.clone()).expect("valid index"));
+    assert!(view.is_view() && view.payload_borrows(&buf));
+    assert!(!owned.payload_borrows(&buf));
+
+    let mut queries: Vec<u64> = archive
+        .docs
+        .iter()
+        .flat_map(|(_, ts)| ts.iter().take(3).copied())
+        .take(n_queries * 3 / 4)
+        .collect();
+    while queries.len() < n_queries {
+        queries.push(0xDEAD_0000_0000u64 + queries.len() as u64);
+    }
+    let run = |idx: &Rambo| {
+        let mut ctx = QueryContext::new();
+        queries
+            .iter()
+            .map(|&t| idx.query_terms_with(&[t], QueryMode::Full, &mut ctx))
+            .collect::<Vec<_>>()
+    };
+    let (res_owned, t_q_owned) = time(|| run(&owned));
+    let (res_view, t_q_view) = time(|| run(&view));
+    assert_eq!(res_owned, res_view, "owned and view storage must agree");
+
+    let nq = queries.len() as f64;
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6 / nq;
+    eprintln!(
+        "storage: {index_bytes} B index — load from_bytes {:.3} ms, open_view {:.3} ms; \
+         query owned {:.2} us, view {:.2} us",
+        t_load_owned.as_secs_f64() * 1e3,
+        t_load_view.as_secs_f64() * 1e3,
+        us(t_q_owned),
+        us(t_q_view),
+    );
+
+    let mut report = JsonReport::new("probe_kernel");
+    report
+        .int("table_bytes", table_bytes as u64)
+        .int("mask_words", mask_words as u64)
+        .int("rows", n_rows as u64)
+        .int("iters", iters as u64)
+        .num("scalar_ms", t_scalar.as_secs_f64() * 1e3 / iters as f64)
+        .num("vectorized_ms", t_vec.as_secs_f64() * 1e3 / iters as f64)
+        .num("speedup_vectorized_vs_scalar", speedup)
+        .int("index_bytes", index_bytes as u64)
+        .int("docs", docs as u64)
+        .num("load_from_bytes_ms", t_load_owned.as_secs_f64() * 1e3)
+        .num("load_view_ms", t_load_view.as_secs_f64() * 1e3)
+        .num(
+            "load_speedup_view",
+            t_load_owned.as_secs_f64() / t_load_view.as_secs_f64().max(1e-9),
+        )
+        .int("view_borrows_payload", 1)
+        .num("owned_query_us_per_query", us(t_q_owned))
+        .num("view_query_us_per_query", us(t_q_view));
+    report
+        .write("BENCH_probe.json")
+        .expect("write BENCH_probe.json");
+}

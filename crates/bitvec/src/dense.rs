@@ -5,19 +5,30 @@
 //! Algorithm 2 is one of these. Union and intersection — the two operations
 //! the RAMBO query loop performs per repetition — are whole-word `|=` / `&=`
 //! passes, which is exactly the "fast bitwise operations" implementation the
-//! paper describes in §3.3 and §5.1.
+//! paper describes in §3.3 and §5.1. The word loops run through the
+//! 4-lane-unrolled kernels in [`crate::kernel`], and the words themselves
+//! live in a [`WordStore`] — heap-owned, or a zero-copy view into a shared
+//! byte buffer ([`BitVec::open_view`]).
 
 use crate::error::DecodeError;
+use crate::kernel;
+use crate::store::{skip_word_padding, write_word_padding, WordStore, WordView};
 use bytes::{Buf, BufMut};
+use std::sync::Arc;
 
 const WORD_BITS: usize = 64;
-const MAGIC: &[u8; 4] = b"RBV1";
+/// Format magic. `RBV2` revs `RBV1` by 8-byte-aligning the word payload
+/// (one pad byte + up to 7 zero bytes after the header) so serialized
+/// vectors can be mapped in place.
+const MAGIC: &[u8; 4] = b"RBV2";
+/// Bytes before the alignment padding: magic, bit length, pad length.
+const HEADER_BYTES: usize = 4 + 8 + 1;
 
 /// A fixed-length dense bit vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitVec {
     len: usize,
-    words: Vec<u64>,
+    words: WordStore,
 }
 
 #[inline]
@@ -31,7 +42,7 @@ impl BitVec {
     pub fn zeros(len: usize) -> Self {
         Self {
             len,
-            words: vec![0; word_count(len)],
+            words: vec![0; word_count(len)].into(),
         }
     }
 
@@ -41,7 +52,7 @@ impl BitVec {
     pub fn ones(len: usize) -> Self {
         let mut v = Self {
             len,
-            words: vec![u64::MAX; word_count(len)],
+            words: vec![u64::MAX; word_count(len)].into(),
         };
         v.mask_tail();
         v
@@ -64,7 +75,7 @@ impl BitVec {
     fn mask_tail(&mut self) {
         let tail = self.len % WORD_BITS;
         if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words.to_mut().last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
         }
@@ -84,6 +95,14 @@ impl BitVec {
         self.len == 0
     }
 
+    /// True when the words are a zero-copy view into a shared buffer (see
+    /// [`BitVec::open_view`]).
+    #[inline]
+    #[must_use]
+    pub fn is_view(&self) -> bool {
+        self.words.is_view()
+    }
+
     /// Read bit `i`.
     ///
     /// # Panics
@@ -92,7 +111,7 @@ impl BitVec {
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+        (self.words.as_words()[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
     /// Set bit `i` to one.
@@ -102,7 +121,7 @@ impl BitVec {
     #[inline]
     pub fn set(&mut self, i: usize) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        self.words.to_mut()[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
     /// Clear bit `i` to zero.
@@ -112,7 +131,7 @@ impl BitVec {
     #[inline]
     pub fn clear(&mut self, i: usize) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+        self.words.to_mut()[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
     /// Write `value` into bit `i`.
@@ -128,19 +147,19 @@ impl BitVec {
     /// Zero every bit, keeping the allocation (the query scratch buffers in
     /// RAMBO reuse one vector per repetition).
     pub fn clear_all(&mut self) {
-        self.words.fill(0);
+        self.words.to_mut().fill(0);
     }
 
     /// Set every bit.
     pub fn set_all(&mut self) {
-        self.words.fill(u64::MAX);
+        self.words.to_mut().fill(u64::MAX);
         self.mask_tail();
     }
 
     /// Number of set bits.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernel::popcount(self.words.as_words())
     }
 
     /// Fraction of set bits (`count_ones / len`); 0 for empty vectors.
@@ -159,7 +178,7 @@ impl BitVec {
     /// True if at least one bit is set.
     #[must_use]
     pub fn any(&self) -> bool {
-        self.words.iter().any(|&w| w != 0)
+        kernel::any(self.words.as_words())
     }
 
     /// True if no bit is set.
@@ -174,9 +193,7 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn or_assign(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "or_assign length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernel::or_into(self.words.to_mut(), other.words.as_words());
     }
 
     /// In-place intersection (`self &= other`).
@@ -185,9 +202,18 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn and_assign(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "and_assign length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernel::and_rows_into_any(self.words.to_mut(), [other.words.as_words()]);
+    }
+
+    /// Fused in-place intersection + liveness: `self &= other`, returning
+    /// `true` if any bit survives. One pass instead of `and_assign` followed
+    /// by `any` — this is the repetition-intersection walk of Algorithm 2.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn and_assign_any(&mut self, other: &Self) -> bool {
+        assert_eq!(self.len, other.len, "and_assign_any length mismatch");
+        kernel::and_rows_into_any(self.words.to_mut(), [other.words.as_words()])
     }
 
     /// In-place symmetric difference (`self ^= other`).
@@ -196,7 +222,7 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn xor_assign(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "xor_assign length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words.to_mut().iter_mut().zip(other.words.as_words()) {
             *a ^= b;
         }
     }
@@ -208,7 +234,7 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn and_not_assign(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "and_not_assign length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words.to_mut().iter_mut().zip(other.words.as_words()) {
             *a &= !b;
         }
     }
@@ -219,13 +245,27 @@ impl BitVec {
     /// # Panics
     /// Panics if `words` is shorter than this vector's word count.
     pub fn and_words(&mut self, words: &[u64]) {
-        assert!(
-            words.len() >= self.words.len(),
-            "and_words slice shorter than vector"
-        );
-        for (a, b) in self.words.iter_mut().zip(words) {
-            *a &= b;
-        }
+        self.and_words_any(words);
+    }
+
+    /// [`BitVec::and_words`] returning `true` if any bit survives (fused
+    /// AND + liveness, one pass).
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than this vector's word count.
+    pub fn and_words_any(&mut self, words: &[u64]) -> bool {
+        kernel::and_rows_into_any(self.words.to_mut(), [words])
+    }
+
+    /// Fused multi-row intersection: `self &= rows[0] & … & rows[N-1]` in a
+    /// single pass over the vector, returning `true` if any bit survives.
+    /// This is the per-table probe kernel of Algorithm 2: several Bloom rows
+    /// are ANDed per pass so the running mask stays in registers.
+    ///
+    /// # Panics
+    /// Panics if any row is shorter than this vector's word count.
+    pub fn and_rows_any<const N: usize>(&mut self, rows: [&[u64]; N]) -> bool {
+        kernel::and_rows_into_any(self.words.to_mut(), rows)
     }
 
     /// Overwrite `self` with `other`, reusing the existing allocation.
@@ -234,7 +274,7 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn copy_from(&mut self, other: &Self) {
         assert_eq!(self.len, other.len, "copy_from length mismatch");
-        self.words.copy_from_slice(&other.words);
+        self.words.to_mut().copy_from_slice(other.words.as_words());
     }
 
     /// `popcount(self & other)` without materializing the intersection.
@@ -246,8 +286,9 @@ impl BitVec {
     pub fn count_and(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "count_and length mismatch");
         self.words
+            .as_words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words.as_words())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
     }
@@ -260,8 +301,9 @@ impl BitVec {
     pub fn count_or(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "count_or length mismatch");
         self.words
+            .as_words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words.as_words())
             .map(|(a, b)| (a | b).count_ones() as usize)
             .sum()
     }
@@ -274,37 +316,45 @@ impl BitVec {
     pub fn is_subset_of(&self, other: &Self) -> bool {
         assert_eq!(self.len, other.len, "is_subset_of length mismatch");
         self.words
+            .as_words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words.as_words())
             .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> Ones<'_> {
+        let words = self.words.as_words();
         Ones {
-            words: &self.words,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
         }
     }
 
     /// The underlying words (little-endian bit order within each word).
     #[must_use]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.words.as_words()
     }
 
-    /// Heap bytes consumed by the raw bits (excludes the struct header).
+    /// Heap bytes consumed by the raw bits (excludes the struct header; a
+    /// view's borrowed payload counts toward its backing buffer, not here).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.words.len() * 8
     }
 
-    /// Append the binary encoding (`RBV1` magic, bit length, words).
+    /// Append the binary encoding (`RBV2` magic, bit length, alignment
+    /// padding, words). The pad is chosen so the word payload lands on an
+    /// 8-byte boundary *relative to the start of `out`* — containers that
+    /// keep that origin (files, [`BitVec::to_bytes`]) can later be opened
+    /// zero-copy via [`BitVec::open_view`].
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_slice(MAGIC);
         out.put_u64_le(self.len as u64);
-        for &w in &self.words {
+        write_word_padding(out);
+        for &w in self.words.as_words() {
             out.put_u64_le(w);
         }
     }
@@ -312,18 +362,15 @@ impl BitVec {
     /// Serialize to a standalone byte buffer.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.words.len() * 8);
+        let mut out = Vec::with_capacity(HEADER_BYTES + 7 + self.words.len() * 8);
         self.encode_into(&mut out);
         out
     }
 
-    /// Decode from a buffer previously filled by [`BitVec::encode_into`],
-    /// advancing `buf` past the consumed bytes.
-    ///
-    /// # Errors
-    /// Returns [`DecodeError`] on bad magic, truncation, or dirty tail bits.
-    pub fn decode_from(buf: &mut &[u8]) -> Result<Self, DecodeError> {
-        if buf.remaining() < 12 {
+    /// Parse the fixed header, returning `(len, n_words, payload_len)` with
+    /// `buf` advanced past the header and padding.
+    fn decode_header(buf: &mut &[u8]) -> Result<(usize, usize, usize), DecodeError> {
+        if buf.remaining() < HEADER_BYTES - 1 {
             return Err(DecodeError::new("bitvec header truncated"));
         }
         let mut magic = [0u8; 4];
@@ -333,6 +380,7 @@ impl BitVec {
         }
         let len = usize::try_from(buf.get_u64_le())
             .map_err(|_| DecodeError::new("bitvec length exceeds address space"))?;
+        skip_word_padding(buf)?;
         let n_words = word_count(len);
         let payload_len = n_words
             .checked_mul(8)
@@ -340,7 +388,31 @@ impl BitVec {
         if buf.remaining() < payload_len {
             return Err(DecodeError::new("bitvec payload truncated"));
         }
-        // Bulk chunked decode (mirrors BfuMatrix::decode_from).
+        Ok((len, n_words, payload_len))
+    }
+
+    /// Reject encodings whose last word sets bits beyond `len`.
+    fn check_tail(words: &[u64], len: usize) -> Result<(), DecodeError> {
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return Err(DecodeError::new("bitvec tail bits beyond len are set"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode from a buffer previously filled by [`BitVec::encode_into`],
+    /// advancing `buf` past the consumed bytes. Copies the payload into
+    /// owned storage.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on bad magic, truncation, or dirty tail bits.
+    pub fn decode_from(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let (len, n_words, payload_len) = Self::decode_header(buf)?;
+        // Bulk chunked decode (mirrors the BFU matrix decode).
         let mut words = Vec::with_capacity(n_words);
         words.extend(
             buf[..payload_len]
@@ -348,13 +420,11 @@ impl BitVec {
                 .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8"))),
         );
         buf.advance(payload_len);
-        let v = Self { len, words };
-        let mut check = v.clone();
-        check.mask_tail();
-        if check != v {
-            return Err(DecodeError::new("bitvec tail bits beyond len are set"));
-        }
-        Ok(v)
+        Self::check_tail(&words, len)?;
+        Ok(Self {
+            len,
+            words: words.into(),
+        })
     }
 
     /// Decode from an exact buffer (must consume all bytes).
@@ -367,6 +437,30 @@ impl BitVec {
             return Err(DecodeError::new("trailing bytes after bitvec"));
         }
         Ok(v)
+    }
+
+    /// Zero-copy load: parse the header and borrow the word payload straight
+    /// out of `buf` (an mmap'd file, a loaded `Vec<u8>` behind an `Arc`).
+    /// No word is copied; mutating the result promotes it to owned storage
+    /// first (see [`crate::WordStore`]). The whole buffer must be consumed.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on any format violation, on trailing bytes,
+    /// or when the payload is not 8-byte-aligned in memory.
+    pub fn open_view(buf: Arc<[u8]>) -> Result<Self, DecodeError> {
+        let mut slice: &[u8] = &buf;
+        let total = slice.len();
+        let (len, n_words, payload_len) = Self::decode_header(&mut slice)?;
+        let start = total - slice.len();
+        if start + payload_len != total {
+            return Err(DecodeError::new("trailing bytes after bitvec"));
+        }
+        let view = WordView::new(buf, start, n_words)?;
+        Self::check_tail(view.as_words(), len)?;
+        Ok(Self {
+            len,
+            words: WordStore::View(view),
+        })
     }
 }
 
@@ -461,6 +555,36 @@ mod tests {
     }
 
     #[test]
+    fn fused_and_assign_any_reports_liveness() {
+        let a = BitVec::from_ones(100, [3, 30, 90]);
+        let b = BitVec::from_ones(100, [30, 91]);
+        let mut x = a.clone();
+        assert!(x.and_assign_any(&b));
+        assert_eq!(x.iter_ones().collect::<Vec<_>>(), vec![30]);
+        let disjoint = BitVec::from_ones(100, [1, 2]);
+        assert!(!x.and_assign_any(&disjoint));
+        assert!(x.none());
+    }
+
+    #[test]
+    fn fused_and_rows_matches_sequential() {
+        let base = BitVec::ones(300);
+        let r0 = BitVec::from_ones(300, (0..300).filter(|i| i % 2 == 0));
+        let r1 = BitVec::from_ones(300, (0..300).filter(|i| i % 3 == 0));
+        let r2 = BitVec::from_ones(300, (0..300).filter(|i| i % 5 == 0));
+        let r3 = BitVec::from_ones(300, (0..300).filter(|i| i % 7 == 0));
+
+        let mut seq = base.clone();
+        for r in [&r0, &r1, &r2, &r3] {
+            seq.and_words(r.words());
+        }
+        let mut fused = base.clone();
+        let live = fused.and_rows_any([r0.words(), r1.words(), r2.words(), r3.words()]);
+        assert_eq!(fused, seq);
+        assert_eq!(live, seq.any());
+    }
+
+    #[test]
     fn subset_relation() {
         let small = BitVec::from_ones(64, [1, 5, 9]);
         let big = BitVec::from_ones(64, [1, 3, 5, 9, 11]);
@@ -509,6 +633,16 @@ mod tests {
     }
 
     #[test]
+    fn serialized_payload_is_aligned() {
+        let v = BitVec::from_ones(100, [5, 50]);
+        let bytes = v.to_bytes();
+        // magic (4) + len (8) + pad byte (1) + pad → word payload at a
+        // multiple of 8 from the buffer start.
+        let pad = bytes[12] as usize;
+        assert_eq!((HEADER_BYTES + pad) % 8, 0);
+    }
+
+    #[test]
     fn serialization_rejects_corruption() {
         let v = BitVec::from_ones(100, [5, 50]);
         let mut bytes = v.to_bytes();
@@ -521,6 +655,13 @@ mod tests {
         let mut bytes = v.to_bytes();
         bytes.push(0);
         assert!(BitVec::from_bytes(&bytes).is_err());
+
+        // Non-zero padding byte.
+        let mut bytes = v.to_bytes();
+        if bytes[12] > 0 {
+            bytes[13] = 1;
+            assert!(BitVec::from_bytes(&bytes).is_err());
+        }
     }
 
     #[test]
@@ -540,6 +681,48 @@ mod tests {
         let back = BitVec::from_bytes(&v.to_bytes()).unwrap();
         assert_eq!(v, back);
         assert_eq!(v.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn open_view_borrows_and_matches_decode() {
+        let v = BitVec::from_ones(500, (0..500).filter(|i| i % 11 == 0));
+        let buf: Arc<[u8]> = v.to_bytes().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            return; // 32-bit Arc layouts may misalign the payload; the
+                    // loader correctly errors there (see store.rs tests)
+        }
+        let view = BitVec::open_view(buf.clone()).unwrap();
+        assert!(view.is_view());
+        assert_eq!(view, v);
+        assert_eq!(view.count_ones(), v.count_ones());
+        // The words really live inside `buf`.
+        let range = buf.as_ptr_range();
+        let p = view.words().as_ptr().cast::<u8>();
+        assert!(range.contains(&p));
+    }
+
+    #[test]
+    fn open_view_promotes_on_write() {
+        let v = BitVec::from_ones(100, [1, 99]);
+        let buf: Arc<[u8]> = v.to_bytes().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            return; // 32-bit Arc layouts may misalign the payload; the
+                    // loader correctly errors there (see store.rs tests)
+        }
+        let mut view = BitVec::open_view(buf).unwrap();
+        view.set(50);
+        assert!(!view.is_view(), "mutation must promote to owned");
+        assert!(view.get(50) && view.get(1) && view.get(99));
+    }
+
+    #[test]
+    fn open_view_rejects_trailing_and_truncation() {
+        let v = BitVec::from_ones(100, [7]);
+        let mut bytes = v.to_bytes();
+        bytes.push(0);
+        assert!(BitVec::open_view(bytes.clone().into()).is_err());
+        bytes.truncate(bytes.len() - 3);
+        assert!(BitVec::open_view(bytes.into()).is_err());
     }
 
     #[test]

@@ -18,17 +18,29 @@
 //!
 //! All structures serialize to a compact binary form (magic + version header)
 //! and deserialize with validation, since the paper's fold-over workflow
-//! writes indexes to disk at multiple sizes.
+//! writes indexes to disk at multiple sizes. Dense word payloads are
+//! 8-byte-aligned on disk so indexes can also be *opened in place*: the
+//! [`WordStore`] storage abstraction backs a [`BitVec`] either with owned
+//! words or with a zero-copy view into a caller-provided `Arc<[u8]>`
+//! (typically a memory-mapped file), and the word-loop hot paths run through
+//! the 4-lane-unrolled kernels in [`kernel`].
+//!
+//! Unsafe policy: the crate is `deny(unsafe_code)` with exactly one audited
+//! exception — the aligned `&[u8]` → `&[u64]` reinterpretation behind the
+//! zero-copy view (see `store::cast_words`).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dense;
 mod error;
+pub mod kernel;
 mod rank;
 mod rrr;
+mod store;
 
 pub use dense::BitVec;
 pub use error::DecodeError;
 pub use rank::RankBitVec;
 pub use rrr::RrrVec;
+pub use store::{skip_word_padding, write_word_padding, WordStore, WordView};

@@ -99,6 +99,62 @@ proptest! {
         prop_assert_eq!(bv, back);
     }
 
+    /// Zero-copy views decode to the same logical vector as the copying
+    /// path, borrow the input buffer, and answer the word-level kernels
+    /// identically.
+    #[test]
+    fn open_view_equals_from_bytes((len, ones) in bits_strategy(4000)) {
+        let bv = BitVec::from_ones(len, ones);
+        let buf: std::sync::Arc<[u8]> = bv.to_bytes().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            continue; // 32-bit Arc layouts may misalign the payload; the
+                      // loader correctly errors there (see store.rs tests)
+        }
+        let owned = BitVec::from_bytes(&buf).unwrap();
+        let view = BitVec::open_view(buf.clone()).unwrap();
+        prop_assert!(view.is_view());
+        prop_assert_eq!(&view, &owned);
+        prop_assert_eq!(view.count_ones(), owned.count_ones());
+        prop_assert_eq!(view.any(), owned.any());
+        prop_assert_eq!(
+            view.iter_ones().collect::<Vec<_>>(),
+            owned.iter_ones().collect::<Vec<_>>()
+        );
+        if !view.is_empty() {
+            let p = view.words().as_ptr().cast::<u8>();
+            prop_assert!(buf.as_ptr_range().contains(&p), "view must borrow the buffer");
+        }
+    }
+
+    /// Corrupted view buffers (truncation at any depth, shifted/misaligned
+    /// payloads, byte flips) return errors or decode to a consistent
+    /// vector — never panic, never UB.
+    #[test]
+    fn open_view_fuzz_errors_not_ub(
+        (len, ones) in bits_strategy(2000),
+        cut in any::<proptest::sample::Index>(),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_to in any::<u8>(),
+        shift in 1usize..8,
+    ) {
+        let bytes = BitVec::from_ones(len, ones).to_bytes();
+
+        let truncated: std::sync::Arc<[u8]> = bytes[..cut.index(bytes.len())].to_vec().into();
+        prop_assert!(BitVec::open_view(truncated).is_err());
+
+        let mut shifted = vec![0u8; shift];
+        shifted.extend_from_slice(&bytes);
+        prop_assert!(BitVec::open_view(shifted.into()).is_err(), "shifted buffer has bad magic");
+
+        let mut flipped = bytes.clone();
+        let at = flip_at.index(flipped.len());
+        flipped[at] = flip_to;
+        if let Ok(v) = BitVec::open_view(flipped.into()) {
+            let _ = v.count_ones(); // decoded → must be internally consistent
+            let _ = v.iter_ones().count();
+        }
+    }
+
     #[test]
     fn rank_select_consistent((len, ones) in bits_strategy(4000)) {
         let rb = RankBitVec::new(BitVec::from_ones(len, ones));

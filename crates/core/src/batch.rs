@@ -219,6 +219,128 @@ fn insert_table(
     }
 }
 
+/// LRU budget (in blob bytes) for the per-term mask memo, sized to a typical
+/// server last-level cache: masks that outlive the LLC stop paying for
+/// themselves (the memo's hash lookup costs more than the probe it saves
+/// once the working set thrashes — see ROADMAP "mask-cache eviction").
+const DEFAULT_MASK_CACHE_BYTES: usize = 32 << 20;
+
+/// Sentinel link for the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One resident mask blob with its LRU links.
+struct MaskSlot {
+    term: u64,
+    blob: Box<[u64]>,
+    prev: u32,
+    next: u32,
+}
+
+/// Bounded LRU memo: term → its `R` bucket masks as one flat
+/// repetition-major word blob. A `FastMap` indexes into a slot arena that
+/// doubles as an intrusive doubly-linked recency list, so get/insert/evict
+/// are all O(1) with one allocation per *resident* entry.
+struct MaskCache {
+    cap: usize,
+    map: FastMap<u64, u32>,
+    slots: Vec<MaskSlot>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (the eviction victim).
+    tail: u32,
+}
+
+impl MaskCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            map: FastMap::default(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Detach a slot from the recency list.
+    fn unlink(&mut self, s: u32) {
+        let (prev, next) = (self.slots[s as usize].prev, self.slots[s as usize].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Attach a slot at the MRU end.
+    fn push_front(&mut self, s: u32) {
+        self.slots[s as usize].prev = NIL;
+        self.slots[s as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = s;
+        }
+        self.head = s;
+        if self.tail == NIL {
+            self.tail = s;
+        }
+    }
+
+    /// Look up a term's blob (bumping it to most-recently-used), filling it
+    /// via `fill` on a miss — one hash lookup on the hit path. At capacity
+    /// the evicted entry's allocation is handed to `fill` for reuse, so a
+    /// full cache stops allocating (`fill` must overwrite every word).
+    fn get_or_insert_with(
+        &mut self,
+        term: u64,
+        blob_words: usize,
+        fill: impl FnOnce(&mut [u64]),
+    ) -> &[u64] {
+        if let Some(&s) = self.map.get(&term) {
+            if self.head != s {
+                self.unlink(s);
+                self.push_front(s);
+            }
+            return &self.slots[s as usize].blob;
+        }
+        let s = if self.map.len() >= self.cap {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let slot = &mut self.slots[victim as usize];
+            self.map.remove(&slot.term);
+            debug_assert_eq!(slot.blob.len(), blob_words, "one geometry per cache");
+            slot.term = term;
+            victim
+        } else {
+            let s = u32::try_from(self.slots.len()).expect("mask cache capacity exceeds u32");
+            self.slots.push(MaskSlot {
+                term,
+                blob: vec![0u64; blob_words].into_boxed_slice(),
+                prev: NIL,
+                next: NIL,
+            });
+            s
+        };
+        fill(&mut self.slots[s as usize].blob);
+        self.map.insert(term, s);
+        self.push_front(s);
+        &self.slots[s as usize].blob
+    }
+
+    /// Non-bumping membership probe (diagnostics/tests).
+    fn contains(&self, term: u64) -> bool {
+        self.map.contains_key(&term)
+    }
+}
+
 /// Shared-scratch batch evaluator for Algorithm 2 with per-term bucket-mask
 /// memoization.
 ///
@@ -228,13 +350,18 @@ fn insert_table(
 /// ([`QueryMode::Sparse`]) queries share the scratch context but skip the
 /// mask cache — sparse evaluation only probes the buckets that still hold
 /// candidates, so a full `B × R` mask would cost more than it saves.
+///
+/// The memo is **bounded**: an LRU policy caps resident blobs at a byte
+/// budget defaulting to a last-level-cache-sized
+/// `DEFAULT_MASK_CACHE_BYTES` (long-running servers would otherwise grow
+/// the map without limit, and masks evicted from the LLC stop being
+/// cheaper than a re-probe anyway). Use [`QueryBatch::with_mask_capacity`]
+/// to tune the entry count directly.
 pub struct QueryBatch<'i> {
     index: &'i Rambo,
     ctx: QueryContext,
-    /// Per unique term: its `R` bucket masks as one flat repetition-major
-    /// word blob (`R × ⌈B/64⌉` words) — a single allocation per term, ANDed
-    /// word-wise at evaluation time.
-    masks: FastMap<u64, Box<[u64]>>,
+    /// Bounded per-term mask memo (`R × ⌈B/64⌉` words per entry).
+    masks: MaskCache,
     /// Scratch for probing a new term's masks.
     probe: BitVec,
     /// Per-repetition combined-mask scratch (`R` masks of `B` bits), so the
@@ -244,13 +371,25 @@ pub struct QueryBatch<'i> {
 }
 
 impl<'i> QueryBatch<'i> {
-    /// Create an evaluator bound to `index`.
+    /// Create an evaluator bound to `index`, with the default
+    /// LLC-sized mask-cache budget.
     #[must_use]
     pub fn new(index: &'i Rambo) -> Self {
+        let blob_bytes = index.repetitions() * (index.buckets() as usize).div_ceil(64) * 8;
+        // Entry overhead: slot links + map entry, roughly one cache line.
+        let cap = DEFAULT_MASK_CACHE_BYTES / (blob_bytes + 64).max(1);
+        Self::with_mask_capacity(index, cap)
+    }
+
+    /// Create an evaluator whose mask memo holds at most `capacity` terms
+    /// (clamped to at least 1); least-recently-used terms are evicted and
+    /// transparently re-probed if queried again.
+    #[must_use]
+    pub fn with_mask_capacity(index: &'i Rambo, capacity: usize) -> Self {
         Self {
             index,
             ctx: QueryContext::new(),
-            masks: FastMap::default(),
+            masks: MaskCache::new(capacity),
             probe: BitVec::zeros(index.buckets() as usize),
             rep_masks: (0..index.repetitions())
                 .map(|_| BitVec::zeros(index.buckets() as usize))
@@ -262,6 +401,18 @@ impl<'i> QueryBatch<'i> {
     #[must_use]
     pub fn memoized_terms(&self) -> usize {
         self.masks.len()
+    }
+
+    /// Maximum number of memoized terms before LRU eviction kicks in.
+    #[must_use]
+    pub fn mask_capacity(&self) -> usize {
+        self.masks.cap
+    }
+
+    /// Is this term's mask currently resident? (Non-bumping; diagnostics.)
+    #[must_use]
+    pub fn is_memoized(&self, term: u64) -> bool {
+        self.masks.contains(term)
     }
 
     /// Evaluate one query (Algorithm 2 semantics: a BFU matches only if it
@@ -296,31 +447,35 @@ impl<'i> QueryBatch<'i> {
         }
         let b = index.buckets() as usize;
         let eta = index.params().eta;
-        let reps = index.repetitions();
         let mask_words = b.div_ceil(64);
-        // Fill the cache for every term of this query first, so the
-        // evaluation below only reads the map.
-        let probe = &mut self.probe;
+        // Combined bucket masks, term-major: each term's blob is looked up
+        // (or probed and inserted) once, then immediately ANDed into every
+        // repetition's mask — consume-before-evict, so a query with more
+        // distinct terms than the cache capacity still evaluates correctly.
+        for mask in &mut self.rep_masks {
+            mask.set_all();
+        }
         for &t in terms {
-            self.masks.entry(t).or_insert_with(|| {
-                let mut blob = vec![0u64; reps * mask_words];
+            // Disjoint-field closure capture: `probe` is scratch, `masks`
+            // is the cache — one hash lookup per term on the hit path. The
+            // fill overwrites every word of the (possibly recycled) blob.
+            let probe = &mut self.probe;
+            let blob_words = index.repetitions() * mask_words;
+            let blob = self.masks.get_or_insert_with(t, blob_words, |blob| {
                 for (rep, table) in index.tables.iter().enumerate() {
                     let pair = index.hash_u64_rep(rep, t);
                     table.matrix.probe_all_into(&[pair], eta, probe);
                     blob[rep * mask_words..(rep + 1) * mask_words].copy_from_slice(probe.words());
                 }
-                blob.into_boxed_slice()
             });
-        }
-        // Combined bucket masks, term-major: one cache lookup per term, its
-        // blob ANDed into every repetition's mask.
-        for mask in &mut self.rep_masks {
-            mask.set_all();
-        }
-        for t in terms {
-            let blob = &self.masks[t];
+            let mut all_live = true;
             for (rep, mask) in self.rep_masks.iter_mut().enumerate() {
-                mask.and_words(&blob[rep * mask_words..(rep + 1) * mask_words]);
+                all_live &= mask.and_words_any(&blob[rep * mask_words..(rep + 1) * mask_words]);
+            }
+            if !all_live {
+                // Some repetition's bucket mask died: its union is empty, so
+                // the intersection is conclusively empty.
+                return Vec::new();
             }
         }
         self.ctx.ensure(k, b);
@@ -333,12 +488,14 @@ impl<'i> QueryBatch<'i> {
                     tbl.set(d as usize);
                 }
             }
-            if rep == 0 {
+            // Fused AND + liveness, mirroring the per-call evaluator.
+            let live = if rep == 0 {
                 acc.copy_from(tbl);
+                acc.any()
             } else {
-                acc.and_assign(tbl);
-            }
-            if acc.none() {
+                acc.and_assign_any(tbl)
+            };
+            if !live {
                 return Vec::new();
             }
         }
@@ -489,6 +646,77 @@ mod tests {
             let got = batch.run(&queries, mode);
             assert_eq!(got, expected, "mode {mode:?}");
         }
+    }
+
+    /// Eviction correctness: the memo never exceeds its capacity, evicts in
+    /// LRU order (recency includes hits, not just inserts), and evicted
+    /// terms are transparently re-probed with identical results.
+    #[test]
+    fn mask_cache_evicts_lru_and_stays_correct() {
+        let docs = archive(20, 30);
+        let mut r = Rambo::new(params(17)).unwrap();
+        for (name, terms) in &docs {
+            r.insert_document_batch(name, terms).unwrap();
+        }
+        let (a, b, c) = (docs[0].1[0], docs[1].1[0], docs[2].1[0]);
+
+        let mut batch = QueryBatch::with_mask_capacity(&r, 2);
+        assert_eq!(batch.mask_capacity(), 2);
+        let res_a = batch.query_terms(&[a], QueryMode::Full);
+        let res_b = batch.query_terms(&[b], QueryMode::Full);
+        assert_eq!(batch.memoized_terms(), 2);
+        // Touch `a` so `b` becomes the LRU victim.
+        assert_eq!(batch.query_terms(&[a], QueryMode::Full), res_a);
+        let res_c = batch.query_terms(&[c], QueryMode::Full);
+        assert_eq!(batch.memoized_terms(), 2, "capacity is a hard bound");
+        assert!(batch.is_memoized(a), "recently hit entry must survive");
+        assert!(!batch.is_memoized(b), "LRU entry must be evicted");
+        assert!(batch.is_memoized(c));
+        // Evicted term re-probes to the same answer.
+        assert_eq!(batch.query_terms(&[b], QueryMode::Full), res_b);
+        assert!(batch.is_memoized(b) && !batch.is_memoized(a));
+        assert_eq!(batch.query_terms(&[c], QueryMode::Full), res_c);
+
+        // A query with more distinct terms than the capacity still equals
+        // the per-call evaluator (consume-before-evict).
+        let wide: Vec<u64> = docs.iter().take(6).map(|(_, ts)| ts[0]).collect();
+        let mut ctx = QueryContext::new();
+        assert_eq!(
+            batch.query_terms(&wide, QueryMode::Full),
+            r.query_terms_with(&wide, QueryMode::Full, &mut ctx)
+        );
+        assert_eq!(batch.memoized_terms(), 2);
+    }
+
+    #[test]
+    fn mask_cache_capacity_is_clamped_to_one() {
+        let docs = archive(5, 10);
+        let mut r = Rambo::new(params(19)).unwrap();
+        for (name, terms) in &docs {
+            r.insert_document_batch(name, terms).unwrap();
+        }
+        let mut batch = QueryBatch::with_mask_capacity(&r, 0);
+        assert_eq!(batch.mask_capacity(), 1);
+        let mut ctx = QueryContext::new();
+        for (_, terms) in &docs {
+            let q = &terms[..2];
+            assert_eq!(
+                batch.query_terms(q, QueryMode::Full),
+                r.query_terms_with(q, QueryMode::Full, &mut ctx)
+            );
+            assert_eq!(batch.memoized_terms(), 1);
+        }
+    }
+
+    #[test]
+    fn default_mask_capacity_is_llc_sized() {
+        let r = Rambo::new(params(23)).unwrap();
+        let batch = QueryBatch::new(&r);
+        let blob_bytes = r.repetitions() * (r.buckets() as usize).div_ceil(64) * 8;
+        assert_eq!(
+            batch.mask_capacity(),
+            super::DEFAULT_MASK_CACHE_BYTES / (blob_bytes + 64)
+        );
     }
 
     #[test]

@@ -34,7 +34,14 @@
 //! * [`Rambo::insert_document_batch`]/[`QueryBatch`] — the batch-parallel
 //!   execution engine: deduplicated hash-once-per-repetition ingestion with
 //!   row-grouped writes fanned over scoped threads, and shared-scratch batch
-//!   querying with per-term bucket-mask memoization.
+//!   querying with LRU-bounded per-term bucket-mask memoization.
+//! * [`Rambo::open_view`]/[`Rambo::open_view_at`] — zero-copy index loads:
+//!   the v2 serialization format 8-byte-aligns every matrix word payload, so
+//!   a serialized index (or several fold-over versions concatenated in one
+//!   file) is re-opened by *borrowing* its words in place from an
+//!   `Arc<[u8]>` — no payload copy, copy-on-write on mutation. The probe
+//!   hot path runs through the fused word-parallel kernels of
+//!   [`rambo_bitvec::kernel`].
 //! * [`RamboBuilder`]/[`RamboParams`] — parameter selection following §4/§5.1
 //!   (`B ≈ √(KV/η)`, `R ≈ log K − log δ`, BFU sizing by pooled cardinality).
 //! * [`sharded`] — the distributed construction of §5.3: two-level hash

@@ -215,13 +215,17 @@ impl Rambo {
                     tbl.set(d as usize);
                 }
             }
-            if rep == 0 {
+            // Fused AND + liveness (one unrolled pass — see
+            // [`rambo_bitvec::kernel`]): stop the moment the intersection
+            // empties, it is already conclusive.
+            let live = if rep == 0 {
                 ctx.acc.copy_from(tbl);
+                ctx.acc.any()
             } else {
-                ctx.acc.and_assign(tbl);
-            }
-            if ctx.acc.none() {
-                return; // intersection already empty — conclusive
+                ctx.acc.and_assign_any(tbl)
+            };
+            if !live {
+                return;
             }
         }
     }

@@ -5,32 +5,180 @@
 //! versions offline). The format here is self-describing and validated:
 //!
 //! ```text
-//! magic "RMB1" | version u16
+//! magic "RMB1" | version u16 (= 2)
 //! partition tag u8 (+ fields) | repetitions u32 | bfu_bits u64 | eta u32 | seed u64
 //! fold_factor u32 | inserts u64 | K u32
 //! K × (name_len u32, utf8 bytes)
-//! R × ( K × assign u32, BFU matrix )
+//! R × ( K × assign u32, BFU matrix [8-byte-aligned word payload] )
 //! ```
 //!
 //! Bucket lists and the name lookup table are reconstructed from `assign` on
 //! load; the resolver is re-derived from the seed (all hash functions are
 //! deterministic in it).
+//!
+//! Version 2 revs the matrix encoding to 8-byte-align every word payload
+//! relative to the start of the buffer, which enables the **zero-copy load
+//! path**: [`Rambo::open_view`] parses the metadata and then *borrows* each
+//! matrix payload in place from a shared `Arc<[u8]>` (typically a
+//! memory-mapped index file) — no word is copied, so re-opening the
+//! fold-over workflow's "several index versions on disk" costs metadata
+//! time, not payload time. [`Rambo::open_view_at`] additionally supports
+//! several indexes concatenated in one buffer.
 
 use crate::error::RamboError;
-use crate::index::{DocId, Rambo};
+use crate::index::{DocId, Rambo, Table};
 use crate::matrix::BfuMatrix;
 use crate::params::RamboParams;
 use crate::partition::{derive_seeds, PartitionScheme, Resolver};
 use bytes::{Buf, BufMut};
 use rambo_bitvec::DecodeError;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"RMB1";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 fn short(buf: &[u8], need: usize, what: &str) -> Result<(), RamboError> {
     if buf.remaining() < need {
         return Err(DecodeError::new(format!("truncated while reading {what}")).into());
     }
+    Ok(())
+}
+
+/// Everything that precedes the per-table payloads in the serialized form.
+struct Prelude {
+    params: RamboParams,
+    fold_factor: u32,
+    inserts: u64,
+    current_buckets: u64,
+    doc_names: Vec<String>,
+}
+
+/// Decode the header, geometry and document names, advancing `buf`.
+fn decode_prelude(buf: &mut &[u8]) -> Result<Prelude, RamboError> {
+    short(buf, 6, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::new("bad RAMBO magic").into());
+    }
+    if buf.get_u16_le() != VERSION {
+        return Err(DecodeError::new("unsupported RAMBO version").into());
+    }
+    short(buf, 1 + 8 + 8 + 4 + 8 + 4 + 4 + 8 + 4, "geometry")?;
+    let partition = match buf.get_u8() {
+        0 => {
+            let buckets = buf.get_u64_le();
+            let _ = buf.get_u64_le();
+            PartitionScheme::Flat { buckets }
+        }
+        1 => PartitionScheme::TwoLevel {
+            nodes: buf.get_u64_le(),
+            local_buckets: buf.get_u64_le(),
+        },
+        t => return Err(DecodeError::new(format!("unknown partition tag {t}")).into()),
+    };
+    let repetitions = buf.get_u32_le() as usize;
+    let bfu_bits = usize::try_from(buf.get_u64_le())
+        .map_err(|_| DecodeError::new("bfu_bits exceeds address space"))?;
+    let eta = buf.get_u32_le();
+    let seed = buf.get_u64_le();
+    let fold_factor = buf.get_u32_le();
+    let inserts = buf.get_u64_le();
+    let params = RamboParams {
+        partition,
+        repetitions,
+        bfu_bits,
+        eta,
+        seed,
+    };
+    params.validate().map_err(|e| {
+        RamboError::Decode(DecodeError::new(format!("stored parameters invalid: {e}")))
+    })?;
+    let b0 = params.buckets();
+    if fold_factor > 32 || (b0 >> fold_factor) < 2 {
+        return Err(DecodeError::new("fold factor inconsistent with bucket count").into());
+    }
+    let current_buckets = b0 >> fold_factor;
+
+    let k = buf.get_u32_le() as usize;
+    let mut doc_names = Vec::with_capacity(k.min(1 << 20));
+    for _ in 0..k {
+        short(buf, 4, "name length")?;
+        let len = buf.get_u32_le() as usize;
+        short(buf, len, "name bytes")?;
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        let name =
+            String::from_utf8(bytes).map_err(|_| DecodeError::new("document name is not UTF-8"))?;
+        doc_names.push(name);
+    }
+    Ok(Prelude {
+        params,
+        fold_factor,
+        inserts,
+        current_buckets,
+        doc_names,
+    })
+}
+
+/// Build the index skeleton (resolver, empty folded-geometry tables) from a
+/// decoded prelude. Names are installed at the end, after the payloads
+/// parse, mirroring the original decode order.
+fn skeleton(p: &Prelude) -> Rambo {
+    let seeds = derive_seeds(p.params.seed);
+    let mut index = Rambo::from_parts(
+        p.params,
+        Resolver::new(p.params.partition, p.params.repetitions, seeds.partition),
+        seeds.bloom,
+    );
+    index.current_buckets = p.current_buckets;
+    index.fold_factor = p.fold_factor;
+    index.inserts = p.inserts;
+    for table in &mut index.tables {
+        *table = Table::new(p.current_buckets as usize, p.params.bfu_bits);
+    }
+    index
+}
+
+/// Install one table's assignment vector, rebuilding its bucket lists.
+fn install_assignments(
+    table: &mut Table,
+    assign: Vec<u32>,
+    current_buckets: u64,
+) -> Result<(), RamboError> {
+    table.assign = assign;
+    for (doc, &a) in table.assign.iter().enumerate() {
+        if u64::from(a) >= current_buckets {
+            return Err(DecodeError::new(format!(
+                "assignment {a} of doc {doc} out of range {current_buckets}"
+            ))
+            .into());
+        }
+        table.buckets[a as usize].push(doc as DocId);
+    }
+    Ok(())
+}
+
+/// Validate a decoded matrix against the header geometry.
+fn check_matrix(
+    matrix: &BfuMatrix,
+    bfu_bits: usize,
+    current_buckets: u64,
+) -> Result<(), RamboError> {
+    if matrix.m_bits() != bfu_bits || matrix.buckets() as u64 != current_buckets {
+        return Err(DecodeError::new("stored matrix geometry disagrees with header").into());
+    }
+    Ok(())
+}
+
+/// Register the document names, rejecting duplicates.
+fn install_names(index: &mut Rambo, doc_names: Vec<String>) -> Result<(), RamboError> {
+    for (id, name) in doc_names.iter().enumerate() {
+        if index.name_index.insert(name.clone(), id as DocId).is_some() {
+            return Err(DecodeError::new(format!("duplicate document name {name}")).into());
+        }
+    }
+    index.doc_names = doc_names;
     Ok(())
 }
 
@@ -84,115 +232,111 @@ impl Rambo {
         Ok(out)
     }
 
-    /// Deserialize an index, validating structure and ranges.
+    /// Deserialize an index, validating structure and ranges. Copies every
+    /// matrix payload into owned storage; see [`Rambo::open_view`] for the
+    /// zero-copy alternative.
     ///
     /// # Errors
     /// [`RamboError::Decode`] on any malformed input.
     pub fn from_bytes(mut buf: &[u8]) -> Result<Self, RamboError> {
         let buf = &mut buf;
-        short(buf, 6, "header")?;
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(DecodeError::new("bad RAMBO magic").into());
-        }
-        if buf.get_u16_le() != VERSION {
-            return Err(DecodeError::new("unsupported RAMBO version").into());
-        }
-        short(buf, 1 + 8 + 8 + 4 + 8 + 4 + 4 + 8 + 4, "geometry")?;
-        let partition = match buf.get_u8() {
-            0 => {
-                let buckets = buf.get_u64_le();
-                let _ = buf.get_u64_le();
-                PartitionScheme::Flat { buckets }
-            }
-            1 => PartitionScheme::TwoLevel {
-                nodes: buf.get_u64_le(),
-                local_buckets: buf.get_u64_le(),
-            },
-            t => return Err(DecodeError::new(format!("unknown partition tag {t}")).into()),
-        };
-        let repetitions = buf.get_u32_le() as usize;
-        let bfu_bits = usize::try_from(buf.get_u64_le())
-            .map_err(|_| DecodeError::new("bfu_bits exceeds address space"))?;
-        let eta = buf.get_u32_le();
-        let seed = buf.get_u64_le();
-        let fold_factor = buf.get_u32_le();
-        let inserts = buf.get_u64_le();
-        let params = RamboParams {
-            partition,
-            repetitions,
-            bfu_bits,
-            eta,
-            seed,
-        };
-        params.validate().map_err(|e| {
-            RamboError::Decode(DecodeError::new(format!("stored parameters invalid: {e}")))
-        })?;
-        let b0 = params.buckets();
-        if fold_factor > 32 || (b0 >> fold_factor) < 2 {
-            return Err(DecodeError::new("fold factor inconsistent with bucket count").into());
-        }
-        let current_buckets = b0 >> fold_factor;
-
-        let k = buf.get_u32_le() as usize;
-        let mut doc_names = Vec::with_capacity(k.min(1 << 20));
-        for _ in 0..k {
-            short(buf, 4, "name length")?;
-            let len = buf.get_u32_le() as usize;
-            short(buf, len, "name bytes")?;
-            let mut bytes = vec![0u8; len];
-            buf.copy_to_slice(&mut bytes);
-            let name = String::from_utf8(bytes)
-                .map_err(|_| DecodeError::new("document name is not UTF-8"))?;
-            doc_names.push(name);
-        }
-
-        let seeds = derive_seeds(seed);
-        let mut index = Self::from_parts(
-            params,
-            Resolver::new(partition, repetitions, seeds.partition),
-            seeds.bloom,
-        );
-        // Apply the recorded fold level to the freshly built geometry.
-        index.current_buckets = current_buckets;
-        index.fold_factor = fold_factor;
-        index.inserts = inserts;
-        for table in &mut index.tables {
-            *table = crate::index::Table::new(current_buckets as usize, bfu_bits);
-        }
-
+        let prelude = decode_prelude(buf)?;
+        let k = prelude.doc_names.len();
+        let mut index = skeleton(&prelude);
         for table in &mut index.tables {
             short(buf, 4 * k, "assignment vector")?;
-            table.assign = (0..k).map(|_| buf.get_u32_le()).collect();
-            for (doc, &a) in table.assign.iter().enumerate() {
-                if u64::from(a) >= current_buckets {
-                    return Err(DecodeError::new(format!(
-                        "assignment {a} of doc {doc} out of range {current_buckets}"
-                    ))
-                    .into());
-                }
-                table.buckets[a as usize].push(doc as DocId);
-            }
+            let assign: Vec<u32> = (0..k).map(|_| buf.get_u32_le()).collect();
+            install_assignments(table, assign, prelude.current_buckets)?;
             let matrix = BfuMatrix::decode_from(buf)?;
-            if matrix.m_bits() != bfu_bits || matrix.buckets() as u64 != current_buckets {
-                return Err(
-                    DecodeError::new("stored matrix geometry disagrees with header").into(),
-                );
-            }
+            check_matrix(&matrix, prelude.params.bfu_bits, prelude.current_buckets)?;
             table.matrix = matrix;
         }
-        let _ = eta;
         if !buf.is_empty() {
             return Err(DecodeError::new("trailing bytes after RAMBO index").into());
         }
-        for (id, name) in doc_names.iter().enumerate() {
-            if index.name_index.insert(name.clone(), id as DocId).is_some() {
-                return Err(DecodeError::new(format!("duplicate document name {name}")).into());
-            }
-        }
-        index.doc_names = doc_names;
+        install_names(&mut index, prelude.doc_names)?;
         Ok(index)
+    }
+
+    /// Zero-copy load: parse the metadata and *borrow* every matrix word
+    /// payload in place from `buf` (typically an `Arc` around a
+    /// memory-mapped index file). Load time is metadata-bound — no word is
+    /// copied; validation reads one word per filter row for the tail check.
+    ///
+    /// The returned index answers every query exactly like the
+    /// [`Rambo::from_bytes`] copy would (the property suite pins this).
+    /// Mutation still works: the first write to a table promotes that
+    /// table's payload to owned storage (one copy, once — see
+    /// [`rambo_bitvec::WordStore`]).
+    ///
+    /// The whole buffer must contain exactly one index; use
+    /// [`Rambo::open_view_at`] for multi-index buffers.
+    ///
+    /// # Errors
+    /// [`RamboError::Decode`] on any malformed input, on trailing bytes, or
+    /// when a word payload is not 8-byte-aligned in memory (fall back to
+    /// [`Rambo::from_bytes`], which has no alignment requirement).
+    pub fn open_view(buf: Arc<[u8]>) -> Result<Self, RamboError> {
+        let (index, used) = Self::open_view_at(&buf, 0)?;
+        if used != buf.len() {
+            return Err(DecodeError::new("trailing bytes after RAMBO index").into());
+        }
+        Ok(index)
+    }
+
+    /// [`Rambo::open_view`] for an index embedded at byte `offset` of a
+    /// larger buffer — the fold-over workflow's "several index versions in
+    /// one file" layout. Returns the index and the number of bytes it
+    /// occupied, so callers can walk a concatenated sequence.
+    ///
+    /// # Errors
+    /// See [`Rambo::open_view`]; additionally errors when `offset` is out
+    /// of range.
+    pub fn open_view_at(buf: &Arc<[u8]>, offset: usize) -> Result<(Self, usize), RamboError> {
+        let mut slice: &[u8] = buf
+            .get(offset..)
+            .ok_or_else(|| DecodeError::new("index offset out of range"))?;
+        let total = slice.len();
+        let prelude = decode_prelude(&mut slice)?;
+        let k = prelude.doc_names.len();
+        let mut index = skeleton(&prelude);
+        // Switch from slice-relative to absolute-cursor parsing: matrix
+        // views need their position inside `buf` to borrow the payload.
+        let mut pos = offset + (total - slice.len());
+        for table in &mut index.tables {
+            let assign_end = pos
+                .checked_add(4 * k)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| DecodeError::new("truncated while reading assignment vector"))?;
+            let assign: Vec<u32> = buf[pos..assign_end]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                .collect();
+            pos = assign_end;
+            install_assignments(table, assign, prelude.current_buckets)?;
+            let matrix = BfuMatrix::decode_view(buf, &mut pos)?;
+            check_matrix(&matrix, prelude.params.bfu_bits, prelude.current_buckets)?;
+            table.matrix = matrix;
+        }
+        install_names(&mut index, prelude.doc_names)?;
+        Ok((index, pos - offset))
+    }
+
+    /// True when every table's word payload is a zero-copy view into a
+    /// shared buffer (i.e. the index came from [`Rambo::open_view`] and has
+    /// not been written to).
+    #[must_use]
+    pub fn is_view(&self) -> bool {
+        self.tables.iter().all(|t| t.matrix.is_view())
+    }
+
+    /// Do all matrix word payloads live inside `buf`? The "zero word-payload
+    /// copies" assertion for the view load path: an index opened with
+    /// [`Rambo::open_view`] answers `true` for its backing buffer, an index
+    /// from [`Rambo::from_bytes`] answers `false` for every buffer.
+    #[must_use]
+    pub fn payload_borrows(&self, buf: &[u8]) -> bool {
+        !self.tables.is_empty() && self.tables.iter().all(|t| t.matrix.payload_borrows(buf))
     }
 }
 
@@ -289,5 +433,97 @@ mod tests {
         r.insert_document("b", [3u64]).unwrap();
         let back = Rambo::from_bytes(&r.to_bytes().unwrap()).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn open_view_is_zero_copy_and_equal() {
+        let r = build_sample();
+        let buf: Arc<[u8]> = r.to_bytes().unwrap().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            return; // 32-bit Arc layouts may misalign the payload; the
+                    // loader correctly errors there (see store.rs tests)
+        }
+        let view = Rambo::open_view(buf.clone()).unwrap();
+        assert!(view.is_view());
+        assert!(
+            view.payload_borrows(&buf),
+            "view must borrow the input buffer, not copy it"
+        );
+        assert_eq!(view, r);
+        // And the copying path never borrows.
+        let owned = Rambo::from_bytes(&buf).unwrap();
+        assert!(!owned.is_view());
+        assert!(!owned.payload_borrows(&buf));
+        for t in [0u64, 5, (3 << 16) | 2, 0xBEEF] {
+            assert_eq!(view.query_u64(t), r.query_u64(t));
+        }
+    }
+
+    #[test]
+    fn open_view_rejects_corruption_and_trailing() {
+        let r = build_sample();
+        let bytes = r.to_bytes().unwrap();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Rambo::open_view(bad.into()).is_err());
+
+        let truncated: Arc<[u8]> = bytes[..bytes.len() / 2].to_vec().into();
+        assert!(Rambo::open_view(truncated).is_err());
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Rambo::open_view(trailing.into()).is_err());
+    }
+
+    #[test]
+    fn open_view_at_walks_concatenated_versions() {
+        // The fold-over workflow: the full index and a folded version in one
+        // buffer, both opened zero-copy from their offsets.
+        let full = build_sample();
+        let folded = full.folded(1).unwrap();
+        let mut buf = full.to_bytes().unwrap();
+        let second_at = buf.len();
+        buf.extend(folded.to_bytes().unwrap());
+        let arc: Arc<[u8]> = buf.into();
+        if !(arc.as_ptr() as usize).is_multiple_of(8) {
+            return; // 32-bit Arc layouts may misalign the payload; the
+                    // loader correctly errors there (see store.rs tests)
+        }
+
+        let (v_full, used) = Rambo::open_view_at(&arc, 0).unwrap();
+        assert_eq!(used, second_at);
+        let (v_folded, used2) = Rambo::open_view_at(&arc, second_at).unwrap();
+        assert_eq!(second_at + used2, arc.len());
+        assert_eq!(v_full, full);
+        assert_eq!(v_folded, folded);
+        assert!(v_full.payload_borrows(&arc) && v_folded.payload_borrows(&arc));
+    }
+
+    #[test]
+    fn viewed_index_promotes_on_mutation() {
+        let r = build_sample();
+        let buf: Arc<[u8]> = r.to_bytes().unwrap().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            return; // 32-bit Arc layouts may misalign the payload; the
+                    // loader correctly errors there (see store.rs tests)
+        }
+        let mut view = Rambo::open_view(buf).unwrap();
+        let d = view.insert_document("late", [0xABCDu64]).unwrap();
+        assert!(!view.is_view(), "writes must promote the touched tables");
+        assert!(view.query_u64(0xABCD).contains(&d));
+    }
+
+    #[test]
+    fn viewed_index_folds() {
+        let r = build_sample();
+        let buf: Arc<[u8]> = r.to_bytes().unwrap().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            return; // 32-bit Arc layouts may misalign the payload; the
+                    // loader correctly errors there (see store.rs tests)
+        }
+        let mut view = Rambo::open_view(buf).unwrap();
+        view.fold_once().unwrap();
+        assert_eq!(view, r.folded(1).unwrap());
     }
 }

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 use rambo_core::{build_sharded_parallel, QueryBatch, QueryContext, QueryMode, Rambo, RamboParams};
+use std::sync::Arc;
 
 /// A random archive: documents with disjoint private terms plus a shared
 /// pool so multiplicity V > 1 occurs.
@@ -195,6 +196,121 @@ proptest! {
             let mut qb = QueryBatch::new(&idx);
             prop_assert_eq!(qb.run(&queries, mode), expected, "mode {:?}", mode);
         }
+    }
+
+    /// The zero-copy load path is bit-identical to the copying one: for any
+    /// archive, geometry and fold level, `open_view` answers every query
+    /// (Full and Sparse, present and absent terms) exactly like the
+    /// `from_bytes` copy — while actually borrowing the input buffer.
+    #[test]
+    fn open_view_equals_from_bytes(
+        archive in archive_strategy(12),
+        b in 2u64..12,
+        r in 1usize..4,
+        folds in 0u32..2,
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 1..15),
+    ) {
+        let mut idx = build(RamboParams::flat(b << folds, r, 1 << 10, 2, seed), &archive);
+        idx.fold_times(folds).unwrap();
+        let buf: Arc<[u8]> = idx.to_bytes().unwrap().into();
+        if !(buf.as_ptr() as usize).is_multiple_of(8) {
+            continue; // 32-bit Arc layouts may misalign the payload; the
+                      // loader correctly errors there (see store.rs tests)
+        }
+        let owned = Rambo::from_bytes(&buf).unwrap();
+        let view = Rambo::open_view(buf.clone()).unwrap();
+        prop_assert!(view.is_view());
+        prop_assert!(view.payload_borrows(&buf), "view must borrow, not copy");
+        prop_assert!(!owned.payload_borrows(&buf));
+        prop_assert_eq!(&view, &owned);
+        let mut all_probes = probes;
+        all_probes.extend(archive.docs.iter().flat_map(|(_, ts)| ts.iter().take(2).copied()));
+        let mut ctx_o = QueryContext::new();
+        let mut ctx_v = QueryContext::new();
+        for &t in &all_probes {
+            for mode in [QueryMode::Full, QueryMode::Sparse] {
+                prop_assert_eq!(
+                    owned.query_terms_with(&[t], mode, &mut ctx_o),
+                    view.query_terms_with(&[t], mode, &mut ctx_v),
+                    "mode {:?} term {:#x}", mode, t
+                );
+            }
+        }
+        // Multi-term queries too.
+        let q: Vec<u64> = all_probes.iter().take(4).copied().collect();
+        prop_assert_eq!(
+            owned.query_terms_with(&q, QueryMode::Full, &mut ctx_o),
+            view.query_terms_with(&q, QueryMode::Full, &mut ctx_v)
+        );
+    }
+
+    /// Fuzz the view loader with corrupted buffers: truncations at every
+    /// depth, shifted (misaligned) payloads, and random byte flips must all
+    /// return errors or decode to a structurally valid index — never panic
+    /// and never exhibit UB (the suite runs under the normal test harness,
+    /// so a crash here is a failure).
+    #[test]
+    fn open_view_fuzz_returns_errors_not_ub(
+        archive in archive_strategy(8),
+        seed in any::<u64>(),
+        cut in any::<proptest::sample::Index>(),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_to in any::<u8>(),
+        shift in 1usize..8,
+    ) {
+        let idx = build(RamboParams::flat(6, 2, 1 << 9, 2, seed), &archive);
+        let bytes = idx.to_bytes().unwrap();
+
+        // Truncation at an arbitrary depth.
+        let cut_len = cut.index(bytes.len());
+        let truncated: Arc<[u8]> = bytes[..cut_len].to_vec().into();
+        prop_assert!(Rambo::open_view(truncated).is_err());
+
+        // Shifted buffer: everything (including word payloads) lands at the
+        // wrong offset; must error (bad magic or misalignment), not crash.
+        let mut shifted = vec![0u8; shift];
+        shifted.extend_from_slice(&bytes);
+        let _ = Rambo::open_view(shifted.clone().into());
+        let arc: Arc<[u8]> = shifted.into();
+        let _ = Rambo::open_view_at(&arc, shift);
+
+        // Random single-byte corruption: either an error or a valid decode
+        // (flips inside the word payload or a name are legal content).
+        let mut flipped = bytes.clone();
+        let at = flip_at.index(flipped.len());
+        flipped[at] = flip_to;
+        if let Ok(view) = Rambo::open_view(flipped.into()) {
+            // Whatever decoded must be internally consistent enough to query.
+            let _ = view.query_u64(0xF00D);
+        }
+    }
+
+    /// Bounded mask memos answer exactly like unbounded evaluation under
+    /// random capacities and query streams with repeats (eviction churn).
+    #[test]
+    fn bounded_query_batch_equals_per_call(
+        archive in archive_strategy(12),
+        seed in any::<u64>(),
+        capacity in 1usize..6,
+        probes in proptest::collection::vec(any::<u64>(), 1..15),
+    ) {
+        let idx = build(RamboParams::flat(8, 3, 1 << 10, 2, seed), &archive);
+        let mut queries: Vec<Vec<u64>> = archive
+            .docs
+            .iter()
+            .map(|(_, ts)| ts.iter().take(3).copied().collect())
+            .collect();
+        queries.extend(probes.into_iter().map(|t| vec![t]));
+        queries.push(queries[0].clone()); // repeat → memo hit or re-probe
+        let mut ctx = QueryContext::new();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| idx.query_terms_with(q, QueryMode::Full, &mut ctx))
+            .collect();
+        let mut qb = QueryBatch::with_mask_capacity(&idx, capacity);
+        prop_assert_eq!(qb.run(&queries, QueryMode::Full), expected);
+        prop_assert!(qb.memoized_terms() <= capacity, "capacity must bound the memo");
     }
 
     /// Multi-term queries (Algorithm 2 semantics) always contain every
