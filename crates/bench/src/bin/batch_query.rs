@@ -11,10 +11,12 @@
 //!     --docs 400 --mean-terms 400 --queries 2000
 //! ```
 
-use rambo_bench::{build_rambo, paper_rambo_params, Args, JsonReport};
+use rambo_bench::{
+    archive_with_mean_terms, build_rambo, paper_rambo_params, us_per, window_queries, Args,
+    JsonReport,
+};
 use rambo_core::{QueryBatch, QueryContext, QueryMode};
 use rambo_workloads::timing::time;
-use rambo_workloads::{ArchiveParams, SyntheticArchive};
 
 fn main() {
     let args = Args::parse();
@@ -24,33 +26,15 @@ fn main() {
     let window = args.get_usize("window", 4);
     let seed = args.get_u64("seed", 7);
 
-    let mut params = ArchiveParams::tiny(docs, seed);
-    params.mean_terms = mean_terms;
-    params.std_terms = mean_terms / 3;
-    let archive = SyntheticArchive::generate(&params);
+    let archive = archive_with_mean_terms(docs, mean_terms, seed);
     let index = build_rambo(
         paper_rambo_params(docs, mean_terms, false, seed),
         &archive.docs,
     );
 
-    // Sliding `window`-term queries over document term lists: adjacent
-    // queries share `window − 1` terms, plus a tail of absent single-term
-    // probes. This is the memoization-friendly (and realistic) shape.
-    let mut queries: Vec<Vec<u64>> = Vec::with_capacity(n_queries);
-    'outer: for (_, terms) in archive.docs.iter() {
-        if terms.len() < window {
-            continue;
-        }
-        for w in terms.windows(window).take(8) {
-            queries.push(w.to_vec());
-            if queries.len() == n_queries * 9 / 10 {
-                break 'outer;
-            }
-        }
-    }
-    while queries.len() < n_queries {
-        queries.push(vec![0xDEAD_0000_0000u64 + queries.len() as u64]);
-    }
+    // Sliding-window queries (the memoization-friendly sequence shape) plus
+    // a tail of absent single-term probes.
+    let queries = window_queries(&archive, window, 8, n_queries);
 
     eprintln!(
         "batch_query: K={docs} queries={} window={window} B={} R={}",
@@ -81,24 +65,21 @@ fn main() {
         });
         assert_eq!(per_call, batched, "{label}: batch must equal per-call");
 
-        let nq = queries.len() as f64;
-        let us = |d: std::time::Duration| d.as_secs_f64() * 1e6 / nq;
+        let nq = queries.len();
         eprintln!(
             "{label:<6} per-call {:>8.2} us/query   batch {:>8.2} us/query   ({:.2}x)",
-            us(t_per_call),
-            us(t_batch),
-            t_per_call.as_secs_f64() / t_batch.as_secs_f64()
+            us_per(t_per_call, nq),
+            us_per(t_batch, nq),
+            rambo_bench::speedup(t_per_call, t_batch)
         );
         report
-            .num(&format!("{label}_per_call_us_per_query"), us(t_per_call))
-            .num(&format!("{label}_batch_us_per_query"), us(t_batch))
             .num(
-                &format!("{label}_batch_speedup"),
-                t_per_call.as_secs_f64() / t_batch.as_secs_f64(),
-            );
+                &format!("{label}_per_call_us_per_query"),
+                us_per(t_per_call, nq),
+            )
+            .num(&format!("{label}_batch_us_per_query"), us_per(t_batch, nq))
+            .ratio(&format!("{label}_batch_speedup"), t_per_call, t_batch);
     }
 
-    report
-        .write("BENCH_batch_query.json")
-        .expect("write BENCH_batch_query.json");
+    report.finish("BENCH_batch_query.json");
 }

@@ -10,10 +10,9 @@
 //!     --docs 60 --mean-terms 20000 --reps 4 --threads 4
 //! ```
 
-use rambo_bench::{default_threads, Args, JsonReport};
+use rambo_bench::{archive_with_mean_terms, default_threads, Args, JsonReport};
 use rambo_core::{Rambo, RamboParams};
 use rambo_workloads::timing::{human_duration, time};
-use rambo_workloads::{ArchiveParams, SyntheticArchive};
 
 fn main() {
     let args = Args::parse();
@@ -23,10 +22,7 @@ fn main() {
     let threads = args.get_usize("threads", default_threads());
     let seed = args.get_u64("seed", 42);
 
-    let mut params = ArchiveParams::tiny(docs, seed);
-    params.mean_terms = mean_terms;
-    params.std_terms = mean_terms / 3;
-    let archive = SyntheticArchive::generate(&params);
+    let archive = archive_with_mean_terms(docs, mean_terms, seed);
     let total_terms = archive.total_terms() as u64;
 
     let b = ((docs as f64).sqrt() * 4.5).round().max(4.0) as u64;
@@ -111,18 +107,8 @@ fn main() {
         .num("naive_mterms_per_s", rate(t_naive) / 1e6)
         .num("batch_single_mterms_per_s", rate(t_batch1) / 1e6)
         .num("batch_multi_mterms_per_s", rate(t_batch_n) / 1e6)
-        .num(
-            "speedup_batch_vs_naive",
-            t_naive.as_secs_f64() / t_batch1.as_secs_f64(),
-        )
-        .num(
-            "speedup_multi_vs_single",
-            t_batch1.as_secs_f64() / t_batch_n.as_secs_f64(),
-        )
-        .num(
-            "speedup_total",
-            t_naive.as_secs_f64() / t_batch_n.as_secs_f64(),
-        )
-        .write("BENCH_ingest.json")
-        .expect("write BENCH_ingest.json");
+        .ratio("speedup_batch_vs_naive", t_naive, t_batch1)
+        .ratio("speedup_multi_vs_single", t_batch1, t_batch_n)
+        .ratio("speedup_total", t_naive, t_batch_n)
+        .finish("BENCH_ingest.json");
 }

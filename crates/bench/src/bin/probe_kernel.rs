@@ -11,12 +11,14 @@
 //!     --mask-words 524288 --rows 16 --iters 5 --docs 200 --queries 500
 //! ```
 
-use rambo_bench::{build_rambo, paper_rambo_params, Args, JsonReport};
+use rambo_bench::{
+    archive_with_mean_terms, build_rambo, paper_rambo_params, single_term_queries, speedup, us_per,
+    Args, JsonReport,
+};
 use rambo_bitvec::kernel;
 use rambo_core::{QueryContext, QueryMode, Rambo};
 use rambo_hash::SplitMix64;
 use rambo_workloads::timing::time;
-use rambo_workloads::{ArchiveParams, SyntheticArchive};
 use std::sync::Arc;
 
 /// Row-at-a-time baseline: one pass over the mask per probed row, exactly
@@ -76,19 +78,16 @@ fn main() {
         }
     });
     assert_eq!(mask_s, mask_v, "kernels must be bit-identical");
-    let speedup = t_scalar.as_secs_f64() / t_vec.as_secs_f64();
+    let kernel_speedup = speedup(t_scalar, t_vec);
     eprintln!(
         "probe kernel: {table_bytes} B table, {n_rows} rows × {iters} iters — \
-         scalar {:.2} ms, vectorized {:.2} ms ({speedup:.2}x)",
+         scalar {:.2} ms, vectorized {:.2} ms ({kernel_speedup:.2}x)",
         t_scalar.as_secs_f64() * 1e3,
         t_vec.as_secs_f64() * 1e3,
     );
 
     // ---- Storage comparison: copying load vs zero-copy view. ----
-    let mut params = ArchiveParams::tiny(docs, seed);
-    params.mean_terms = mean_terms;
-    params.std_terms = mean_terms / 3;
-    let archive = SyntheticArchive::generate(&params);
+    let archive = archive_with_mean_terms(docs, mean_terms, seed);
     let index = build_rambo(
         paper_rambo_params(docs, mean_terms, false, seed),
         &archive.docs,
@@ -102,15 +101,7 @@ fn main() {
     assert!(view.is_view() && view.payload_borrows(&buf));
     assert!(!owned.payload_borrows(&buf));
 
-    let mut queries: Vec<u64> = archive
-        .docs
-        .iter()
-        .flat_map(|(_, ts)| ts.iter().take(3).copied())
-        .take(n_queries * 3 / 4)
-        .collect();
-    while queries.len() < n_queries {
-        queries.push(0xDEAD_0000_0000u64 + queries.len() as u64);
-    }
+    let queries = single_term_queries(&archive, n_queries);
     let run = |idx: &Rambo| {
         let mut ctx = QueryContext::new();
         queries
@@ -122,15 +113,14 @@ fn main() {
     let (res_view, t_q_view) = time(|| run(&view));
     assert_eq!(res_owned, res_view, "owned and view storage must agree");
 
-    let nq = queries.len() as f64;
-    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6 / nq;
+    let nq = queries.len();
     eprintln!(
         "storage: {index_bytes} B index — load from_bytes {:.3} ms, open_view {:.3} ms; \
          query owned {:.2} us, view {:.2} us",
         t_load_owned.as_secs_f64() * 1e3,
         t_load_view.as_secs_f64() * 1e3,
-        us(t_q_owned),
-        us(t_q_view),
+        us_per(t_q_owned, nq),
+        us_per(t_q_view, nq),
     );
 
     let mut report = JsonReport::new("probe_kernel");
@@ -141,19 +131,14 @@ fn main() {
         .int("iters", iters as u64)
         .num("scalar_ms", t_scalar.as_secs_f64() * 1e3 / iters as f64)
         .num("vectorized_ms", t_vec.as_secs_f64() * 1e3 / iters as f64)
-        .num("speedup_vectorized_vs_scalar", speedup)
+        .num("speedup_vectorized_vs_scalar", kernel_speedup)
         .int("index_bytes", index_bytes as u64)
         .int("docs", docs as u64)
         .num("load_from_bytes_ms", t_load_owned.as_secs_f64() * 1e3)
         .num("load_view_ms", t_load_view.as_secs_f64() * 1e3)
-        .num(
-            "load_speedup_view",
-            t_load_owned.as_secs_f64() / t_load_view.as_secs_f64().max(1e-9),
-        )
+        .ratio("load_speedup_view", t_load_owned, t_load_view)
         .int("view_borrows_payload", 1)
-        .num("owned_query_us_per_query", us(t_q_owned))
-        .num("view_query_us_per_query", us(t_q_view));
-    report
-        .write("BENCH_probe.json")
-        .expect("write BENCH_probe.json");
+        .num("owned_query_us_per_query", us_per(t_q_owned, nq))
+        .num("view_query_us_per_query", us_per(t_q_view, nq));
+    report.finish("BENCH_probe.json");
 }

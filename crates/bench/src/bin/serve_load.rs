@@ -1,0 +1,457 @@
+//! Serving-engine load benchmark: one-query-at-a-time evaluation vs the
+//! micro-batching [`rambo_server`] scheduler, under concurrent closed-loop
+//! clients firing a mixed-FPR-budget load across the fold-over tier
+//! catalog.
+//!
+//! Four serving designs over the same catalog and query stream:
+//!
+//! 1. `one-at-a-time` — every request evaluated independently as it
+//!    arrives, fresh [`rambo_core::QueryContext`] per query, no shared
+//!    state (the lock-free naive concurrent server).
+//! 2. `direct(mutex)` — one query at a time through a shared per-tier
+//!    `Mutex<QueryBatch>`: amortized masks, but the lock convoys under
+//!    contention.
+//! 3. `served batch=1` — the scheduler with coalescing disabled.
+//! 4. `served batch=N` — real micro-batches.
+//!
+//! Also demonstrates catalog tier selection (loosening the FPR budget picks
+//! a strictly smaller tier), verifies served results equal direct
+//! evaluation, and — with `--tcp` — runs the same load through the
+//! length-prefixed TCP front, asserting non-empty responses and a clean
+//! shutdown (the CI `serve-smoke` step).
+//!
+//! Emits `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p rambo-bench --bin serve_load -- \
+//!     --docs 1000 --mean-terms 5000 --queries 4000 --clients 4 --tcp
+//! ```
+
+use rambo_bench::{archive_with_mean_terms, us_per, window_queries, Args, JsonReport};
+use rambo_core::{QueryBatch, QueryMode, Rambo, RamboParams};
+use rambo_server::{serve_tcp, Catalog, Server, ServerConfig, TcpClient};
+use rambo_workloads::stats::percentile;
+use rambo_workloads::timing::time;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A query with its routing budget.
+struct Job {
+    terms: Vec<u64>,
+    budget: f64,
+}
+
+/// Latency series (µs) plus wall time of one serving run.
+struct RunResult {
+    latencies_us: Vec<f64>,
+    elapsed: Duration,
+}
+
+impl RunResult {
+    fn p50(&self) -> f64 {
+        percentile(&self.latencies_us, 50.0)
+    }
+    fn p99(&self) -> f64 {
+        percentile(&self.latencies_us, 99.0)
+    }
+    fn qps(&self) -> f64 {
+        self.latencies_us.len() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Split `jobs` round-robin into `clients` slices (owned indices).
+fn client_slices(n_jobs: usize, clients: usize) -> Vec<Vec<usize>> {
+    let mut slices = vec![Vec::new(); clients];
+    for i in 0..n_jobs {
+        slices[i % clients].push(i);
+    }
+    slices
+}
+
+/// The two one-query-at-a-time designs a server without a batching
+/// scheduler would use: every request evaluated independently as it
+/// arrives, either with a fresh [`rambo_core::QueryContext`] per request
+/// (lock-free, no amortization at all) or through a shared per-tier
+/// `Mutex<QueryBatch>` (amortized masks, serialized by the lock).
+#[derive(Clone, Copy, PartialEq)]
+enum DirectMode {
+    FreshContext,
+    LockedEvaluator,
+}
+
+fn run_direct(catalog: &Catalog, jobs: &[Job], clients: usize, mode: DirectMode) -> RunResult {
+    let evaluators: Vec<Mutex<QueryBatch<'_>>> = (0..catalog.len())
+        .map(|t| Mutex::new(QueryBatch::new(catalog.tier(t))))
+        .collect();
+    let slices = client_slices(jobs.len(), clients);
+    let (latencies, elapsed) = time(|| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = slices
+                .iter()
+                .map(|slice| {
+                    let evaluators = &evaluators;
+                    s.spawn(move || {
+                        let mut lat = Vec::with_capacity(slice.len());
+                        for &i in slice {
+                            let job = &jobs[i];
+                            let tier = catalog.select(job.budget);
+                            let start = Instant::now();
+                            let docs = match mode {
+                                DirectMode::FreshContext => {
+                                    let mut ctx = rambo_core::QueryContext::new();
+                                    catalog.tier(tier).query_terms_with(
+                                        &job.terms,
+                                        QueryMode::Full,
+                                        &mut ctx,
+                                    )
+                                }
+                                DirectMode::LockedEvaluator => evaluators[tier]
+                                    .lock()
+                                    .expect("evaluator lock")
+                                    .query_terms(&job.terms, QueryMode::Full),
+                            };
+                            lat.push(us_per(start.elapsed(), 1));
+                            std::hint::black_box(docs);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect::<Vec<f64>>()
+        })
+    });
+    RunResult {
+        latencies_us: latencies,
+        elapsed,
+    }
+}
+
+/// Designs 2 and 3: the serving engine at a given batch configuration.
+/// Each client keeps up to `pipeline` requests in flight (a serving front
+/// multiplexing many end users over one connection sees exactly this
+/// shape); `pipeline = 1` is a closed loop.
+fn run_served(
+    catalog: &Catalog,
+    jobs: &[Job],
+    clients: usize,
+    pipeline: usize,
+    config: ServerConfig,
+) -> RunResult {
+    let slices = client_slices(jobs.len(), clients);
+    let (latencies, elapsed) = time(|| {
+        let (latencies, _) = Server::scope(catalog, config, |handle| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = slices
+                    .iter()
+                    .map(|slice| {
+                        let handle = &handle;
+                        s.spawn(move || {
+                            let mut lat = Vec::with_capacity(slice.len());
+                            let mut inflight = std::collections::VecDeque::new();
+                            for &i in slice {
+                                let job = &jobs[i];
+                                let start = Instant::now();
+                                let pending = handle
+                                    .submit(
+                                        &job.terms,
+                                        &rambo_server::QueryOptions {
+                                            fpr_budget: job.budget,
+                                            deadline: Duration::from_secs(30),
+                                            ..Default::default()
+                                        },
+                                    )
+                                    .expect("serving failure under load");
+                                inflight.push_back((start, pending));
+                                if inflight.len() >= pipeline.max(1) {
+                                    let (start, oldest) =
+                                        inflight.pop_front().expect("non-empty pipeline");
+                                    let reply = oldest.wait().expect("serving failure under load");
+                                    lat.push(us_per(start.elapsed(), 1));
+                                    std::hint::black_box(reply.docs);
+                                }
+                            }
+                            for (start, pending) in inflight {
+                                let reply = pending.wait().expect("serving failure under load");
+                                lat.push(us_per(start.elapsed(), 1));
+                                std::hint::black_box(reply.docs);
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .collect::<Vec<f64>>()
+            })
+        });
+        latencies
+    });
+    RunResult {
+        latencies_us: latencies,
+        elapsed,
+    }
+}
+
+/// The TCP smoke: serve on a loopback port, fire a mixed-tier load from
+/// `clients` connections, assert every response matches direct evaluation
+/// (and is non-empty for present-term queries), shut down cleanly.
+fn run_tcp_smoke(catalog: &Catalog, jobs: &[Job], clients: usize, config: ServerConfig) -> usize {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = AtomicBool::new(false);
+    let slices = client_slices(jobs.len(), clients);
+    let (answered, _) = Server::scope(catalog, config, |handle| {
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(handle, listener, &stop));
+            let answered: usize = slices
+                .iter()
+                .map(|slice| {
+                    let stop = &stop;
+                    s.spawn(move || {
+                        let mut client = TcpClient::connect(addr).expect("connect");
+                        let mut ctx = rambo_core::QueryContext::new();
+                        let mut answered = 0usize;
+                        for &i in slice {
+                            let job = &jobs[i];
+                            let reply = client
+                                .query(&job.terms, job.budget, Duration::from_secs(30))
+                                .expect("tcp query");
+                            let direct = catalog.tier(reply.tier).query_terms_with(
+                                &job.terms,
+                                QueryMode::Full,
+                                &mut ctx,
+                            );
+                            assert_eq!(reply.docs, direct, "TCP reply diverged from direct eval");
+                            // Present-term windows must return their owner.
+                            if job.terms.len() > 1 {
+                                assert!(
+                                    !reply.docs.is_empty(),
+                                    "present-term query answered empty over TCP"
+                                );
+                            }
+                            answered += 1;
+                        }
+                        let _ = stop;
+                        answered
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("tcp client thread"))
+                .sum();
+            stop.store(true, Ordering::Relaxed);
+            server
+                .join()
+                .expect("tcp server thread")
+                .expect("tcp server io");
+            answered
+        })
+    });
+    answered
+}
+
+fn main() {
+    let args = Args::parse();
+    let docs = args.get_usize("docs", 1000);
+    let mean_terms = args.get_usize("mean-terms", 5000);
+    let n_queries = args.get_usize("queries", 4000);
+    // 192 terms ≈ the k-mer set of a 220bp read: the §3.3.1 sequence-query
+    // shape, heavy enough that evaluation (not scheduling) dominates.
+    let window = args.get_usize("window", 192);
+    let clients = args.get_usize("clients", 4).max(1);
+    let levels = args.get_usize("levels", 2) as u32;
+    let max_batch = args.get_usize("max-batch", 64);
+    let pipeline = args.get_usize("pipeline", 1).max(1);
+    let max_delay_us = args.get_u64("max-delay-us", 0);
+    let seed = args.get_u64("seed", 7);
+    let tcp = args.get_bool("tcp");
+
+    // Bucket count above word granularity (matrix rows are ⌈B/64⌉ words) so
+    // every fold level genuinely halves the filter payload: 256 → 128 → 64.
+    let buckets = 64u64 << levels;
+    let archive = archive_with_mean_terms(docs, mean_terms, seed);
+    let per_bucket = ((docs as f64 / buckets as f64) * mean_terms as f64 * 1.2).ceil() as usize;
+    let params = RamboParams::flat(
+        buckets,
+        3,
+        rambo_bloom::params::optimal_m(per_bucket.max(64), 0.01),
+        2,
+        seed,
+    );
+    let index = {
+        let mut r = Rambo::new(params).expect("valid params");
+        for (name, terms) in &archive.docs {
+            r.insert_document_batch(name, terms).expect("unique names");
+        }
+        r
+    };
+    let catalog = Catalog::build_halving(&index, levels).expect("catalog");
+    let infos = catalog.infos();
+
+    // Tier-selection demonstration: loosening the budget must pick a
+    // strictly smaller tier.
+    let tight = catalog.select(infos[0].predicted_fpr);
+    let loose = catalog.select(infos[infos.len() - 1].predicted_fpr);
+    assert!(
+        loose > tight && infos[loose].size_bytes < infos[tight].size_bytes,
+        "loosened budget must select a strictly smaller tier"
+    );
+
+    // Mixed-tier load: sliding-window queries, budgets cycling through the
+    // tiers' predicted FPRs so every tier sees traffic.
+    let queries = window_queries(&archive, window, 8, n_queries);
+    let jobs: Vec<Job> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, terms)| Job {
+            terms,
+            budget: infos[i % infos.len()].predicted_fpr,
+        })
+        .collect();
+
+    eprintln!(
+        "serve_load: K={docs} queries={} window={window} clients={clients} tiers={} B={}",
+        jobs.len(),
+        catalog.len(),
+        index.buckets(),
+    );
+    for info in &infos {
+        eprintln!(
+            "  tier {}: B={:<4} size={:>9} B  bfu_fpr={:.2e}  predicted_fpr={:.2e}",
+            info.tier, info.buckets, info.size_bytes, info.bfu_fpr, info.predicted_fpr
+        );
+    }
+
+    // Served results must equal direct evaluation (spot-check before the
+    // timed runs; also warms the page cache for every tier).
+    {
+        let mut ctx = rambo_core::QueryContext::new();
+        let ((), _) = Server::scope(&catalog, ServerConfig::default(), |handle| {
+            for job in jobs.iter().step_by(17) {
+                let reply = handle
+                    .query(&job.terms, job.budget, Duration::from_secs(30))
+                    .expect("verification query");
+                let direct = catalog.tier(reply.tier).query_terms_with(
+                    &job.terms,
+                    QueryMode::Full,
+                    &mut ctx,
+                );
+                assert_eq!(reply.docs, direct, "served result diverged");
+            }
+        });
+    }
+
+    // Greedy adaptive batching by default (`max_delay = 0`): batches form
+    // from the backlog that accumulates while the previous batch evaluates,
+    // adding no artificial wait — the right default for closed-loop clients.
+    let batched_config = ServerConfig {
+        max_batch,
+        max_delay: Duration::from_micros(max_delay_us),
+        ..ServerConfig::default()
+    };
+    let unbatched_config = ServerConfig {
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+
+    let fresh = run_direct(&catalog, &jobs, clients, DirectMode::FreshContext);
+    let mutexed = run_direct(&catalog, &jobs, clients, DirectMode::LockedEvaluator);
+    let unbatched = run_served(&catalog, &jobs, clients, pipeline, unbatched_config);
+    let batched = run_served(&catalog, &jobs, clients, pipeline, batched_config);
+
+    let print = |label: &str, r: &RunResult| {
+        eprintln!(
+            "{label:<18} p50 {:>8.1} us   p99 {:>9.1} us   {:>9.0} qps",
+            r.p50(),
+            r.p99(),
+            r.qps()
+        );
+    };
+    print("one-at-a-time", &fresh);
+    print("direct(mutex)", &mutexed);
+    print("served batch=1", &unbatched);
+    print(&format!("served batch={max_batch}"), &batched);
+
+    let mut report = JsonReport::new("serve_load");
+    report
+        .int("docs", docs as u64)
+        .int("queries", jobs.len() as u64)
+        .int("window", window as u64)
+        .int("clients", clients as u64)
+        .int("tiers", catalog.len() as u64)
+        .int("buckets", index.buckets())
+        .int("max_batch", max_batch as u64);
+    for info in &infos {
+        report
+            .int(&format!("tier{}_buckets", info.tier), info.buckets)
+            .int(
+                &format!("tier{}_size_bytes", info.tier),
+                info.size_bytes as u64,
+            )
+            .num(
+                &format!("tier{}_predicted_fpr", info.tier),
+                info.predicted_fpr,
+            );
+    }
+    report
+        .int("tier_selected_tight_budget", tight as u64)
+        .int("tier_selected_loose_budget", loose as u64)
+        .int("pipeline", pipeline as u64)
+        .num("one_at_a_time_p50_us", fresh.p50())
+        .num("one_at_a_time_p99_us", fresh.p99())
+        .num("one_at_a_time_qps", fresh.qps())
+        .num("direct_mutex_p50_us", mutexed.p50())
+        .num("direct_mutex_p99_us", mutexed.p99())
+        .num("direct_mutex_qps", mutexed.qps())
+        .num("served_unbatched_p50_us", unbatched.p50())
+        .num("served_unbatched_p99_us", unbatched.p99())
+        .num("served_unbatched_qps", unbatched.qps())
+        .num("served_batched_p50_us", batched.p50())
+        .num("served_batched_p99_us", batched.p99())
+        .num("served_batched_qps", batched.qps())
+        .num(
+            "batched_p99_speedup_vs_one_at_a_time",
+            fresh.p99() / batched.p99(),
+        )
+        .num(
+            "batched_p99_speedup_vs_unbatched",
+            unbatched.p99() / batched.p99(),
+        )
+        .num(
+            "batched_qps_speedup_vs_one_at_a_time",
+            batched.qps() / fresh.qps(),
+        );
+
+    if tcp {
+        // Small slice of the load through the TCP front (the CI smoke).
+        let tcp_jobs = &jobs[..jobs.len().min(400)];
+        let (answered, tcp_elapsed) =
+            time(|| run_tcp_smoke(&catalog, tcp_jobs, clients.min(4), batched_config));
+        assert_eq!(answered, tcp_jobs.len(), "TCP smoke dropped queries");
+        eprintln!(
+            "tcp-smoke: {answered} queries answered over loopback in {:.0} ms, clean shutdown",
+            tcp_elapsed.as_secs_f64() * 1e3
+        );
+        report
+            .int("tcp_smoke_queries", answered as u64)
+            .num("tcp_smoke_s", tcp_elapsed.as_secs_f64());
+    }
+
+    if args.get_bool("assert-batch-wins") {
+        assert!(
+            batched.p99() < fresh.p99(),
+            "micro-batched p99 {}us must beat one-query-at-a-time p99 {}us",
+            batched.p99(),
+            fresh.p99()
+        );
+    }
+
+    report.finish("BENCH_serve.json");
+}

@@ -171,6 +171,84 @@ pub fn build_rambo_threads(
 
 pub use rambo_core::default_threads;
 
+/// Synthetic ENA-like archive with an explicit mean terms-per-document —
+/// the workload every throughput bin builds (σ is set to a third of the
+/// mean, matching the archives the paper's experiments sample).
+#[must_use]
+pub fn archive_with_mean_terms(
+    docs: usize,
+    mean_terms: usize,
+    seed: u64,
+) -> rambo_workloads::SyntheticArchive {
+    let mut params = rambo_workloads::ArchiveParams::tiny(docs, seed);
+    params.mean_terms = mean_terms;
+    params.std_terms = mean_terms / 3;
+    rambo_workloads::SyntheticArchive::generate(&params)
+}
+
+/// An absent probe term (outside every synthetic document's term range).
+#[must_use]
+pub fn absent_term(i: usize) -> u64 {
+    0xDEAD_0000_0000u64 + i as u64
+}
+
+/// Sliding `window`-term queries over the archive's documents (at most
+/// `per_doc` windows each, filling 9/10 of `n`), padded to exactly `n` with
+/// absent single-term probes. Adjacent queries share `window − 1` terms —
+/// the §3.3.1 sequence-query shape the mask memo amortizes.
+#[must_use]
+pub fn window_queries(
+    archive: &rambo_workloads::SyntheticArchive,
+    window: usize,
+    per_doc: usize,
+    n: usize,
+) -> Vec<Vec<u64>> {
+    let mut queries: Vec<Vec<u64>> = Vec::with_capacity(n);
+    'outer: for (_, terms) in &archive.docs {
+        if terms.len() < window {
+            continue;
+        }
+        for w in terms.windows(window).take(per_doc) {
+            queries.push(w.to_vec());
+            if queries.len() == n * 9 / 10 {
+                break 'outer;
+            }
+        }
+    }
+    while queries.len() < n {
+        queries.push(vec![absent_term(queries.len())]);
+    }
+    queries
+}
+
+/// Single-term probes: 3/4 present terms (up to three per document), the
+/// rest absent, exactly `n` in total.
+#[must_use]
+pub fn single_term_queries(archive: &rambo_workloads::SyntheticArchive, n: usize) -> Vec<u64> {
+    let mut queries: Vec<u64> = archive
+        .docs
+        .iter()
+        .flat_map(|(_, ts)| ts.iter().take(3).copied())
+        .take(n * 3 / 4)
+        .collect();
+    while queries.len() < n {
+        queries.push(absent_term(queries.len()));
+    }
+    queries
+}
+
+/// Mean microseconds per item of a workload that processed `n` items.
+#[must_use]
+pub fn us_per(d: Duration, n: usize) -> f64 {
+    d.as_secs_f64() * 1e6 / n.max(1) as f64
+}
+
+/// Wall-time speedup of `candidate` over `baseline` (>1 means faster).
+#[must_use]
+pub fn speedup(baseline: Duration, candidate: Duration) -> f64 {
+    baseline.as_secs_f64() / candidate.as_secs_f64().max(1e-12)
+}
+
 /// Time a query workload: mean wall time per query over `terms`.
 #[must_use]
 pub fn mean_query_time(index: &dyn MembershipIndex, terms: &[u64]) -> Duration {
@@ -255,6 +333,11 @@ impl JsonReport {
         format!("{{\n{}\n}}\n", body.join(",\n"))
     }
 
+    /// Add a duration ratio field (>1 means `candidate` beat `baseline`).
+    pub fn ratio(&mut self, key: &str, baseline: Duration, candidate: Duration) -> &mut Self {
+        self.num(key, speedup(baseline, candidate))
+    }
+
     /// Write the report to `path` and echo it to stdout.
     ///
     /// # Errors
@@ -263,6 +346,16 @@ impl JsonReport {
         let rendered = self.render();
         print!("{rendered}");
         std::fs::write(path, rendered)
+    }
+
+    /// [`JsonReport::write`], panicking with context on failure — the
+    /// shared tail of every `BENCH_*.json`-emitting binary.
+    ///
+    /// # Panics
+    /// Panics when the file cannot be written.
+    pub fn finish(&self, path: &str) {
+        self.write(path)
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
     }
 }
 

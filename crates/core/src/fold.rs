@@ -77,6 +77,73 @@ impl Rambo {
         copy.fold_times(n)?;
         Ok(copy)
     }
+
+    /// Fold down to exactly `target_buckets`. The target must divide the
+    /// current bucket count by a power of two (each fold halves `B`, so
+    /// those are the only reachable geometries); `target_buckets ==
+    /// buckets()` is a no-op.
+    ///
+    /// # Errors
+    /// [`RamboError::FoldUnavailable`] when the target is zero, larger than
+    /// the current bucket count, not a power-of-two divisor of it, or when
+    /// an intermediate fold is unavailable (odd or sub-2 bucket count); all
+    /// folds completed before the failure stay applied, exactly like
+    /// [`Rambo::fold_times`].
+    pub fn fold_to(&mut self, target_buckets: u64) -> Result<(), RamboError> {
+        let b = self.current_buckets;
+        if target_buckets == 0 || target_buckets > b {
+            return Err(RamboError::FoldUnavailable(format!(
+                "cannot fold {b} buckets to {target_buckets}"
+            )));
+        }
+        if !b.is_multiple_of(target_buckets) || !(b / target_buckets).is_power_of_two() {
+            return Err(RamboError::FoldUnavailable(format!(
+                "target {target_buckets} is not a power-of-two divisor of {b}"
+            )));
+        }
+        self.fold_times((b / target_buckets).trailing_zeros())
+    }
+
+    /// Serialize the §5.3 / Table 4 fold-over *catalog*: one buffer holding
+    /// this index folded to each geometry in `tier_buckets`, concatenated in
+    /// order. Every tier is re-openable zero-copy with
+    /// [`Rambo::open_view_at`] — this is the on-disk layout behind
+    /// "a one-time processing allows us to create several versions of RAMBO
+    /// with varying sizes and FP rates" that a serving catalog walks.
+    ///
+    /// `tier_buckets` must be strictly decreasing, with each entry a
+    /// power-of-two divisor of its predecessor (and the first a
+    /// power-of-two divisor of the current bucket count, typically equal to
+    /// it). The folds are applied progressively — one clone total, not one
+    /// per tier.
+    ///
+    /// # Errors
+    /// [`RamboError::FoldUnavailable`] on an empty or non-decreasing tier
+    /// list or an unreachable geometry, plus everything
+    /// [`Rambo::to_bytes`] can raise (node-local shards).
+    pub fn fold_catalog_bytes(&self, tier_buckets: &[u64]) -> Result<Vec<u8>, RamboError> {
+        if tier_buckets.is_empty() {
+            return Err(RamboError::FoldUnavailable(
+                "catalog needs at least one tier".into(),
+            ));
+        }
+        if tier_buckets.windows(2).any(|w| w[1] >= w[0]) {
+            return Err(RamboError::FoldUnavailable(format!(
+                "catalog tiers must be strictly decreasing, got {tier_buckets:?}"
+            )));
+        }
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        for &target in tier_buckets {
+            cur.fold_to(target)?;
+            out.extend(cur.to_bytes()?);
+            // Zero-copy invariant: every encoded index ends on its 8-aligned
+            // word payload, so each tier starts at a multiple of 8 and the
+            // per-tier internal padding stays valid inside the catalog.
+            debug_assert!(out.len().is_multiple_of(8));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +275,83 @@ mod tests {
         let (mut tiny, _) = build(2, 5, 8);
         assert!(matches!(
             tiny.fold_once(),
+            Err(RamboError::FoldUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn fold_to_composes_fold_once() {
+        let (r, _) = build(64, 40, 10);
+        let mut direct = r.clone();
+        direct.fold_to(8).unwrap();
+        assert_eq!(direct.buckets(), 8);
+        assert_eq!(direct.fold_factor(), 3);
+        assert_eq!(direct, r.folded(3).unwrap());
+        // No-op target.
+        let mut same = r.clone();
+        same.fold_to(64).unwrap();
+        assert_eq!(same, r);
+    }
+
+    #[test]
+    fn fold_to_rejects_unreachable_targets() {
+        let (r, _) = build(16, 10, 11);
+        for bad in [0u64, 3, 5, 6, 32] {
+            let mut c = r.clone();
+            assert!(
+                matches!(c.fold_to(bad), Err(RamboError::FoldUnavailable(_))),
+                "target {bad} must be rejected"
+            );
+            assert_eq!(c, r, "failed fold_to({bad}) must not mutate");
+        }
+    }
+
+    #[test]
+    fn fold_catalog_bytes_concatenates_reopenable_tiers() {
+        let (r, contents) = build(32, 40, 12);
+        let bytes = r.fold_catalog_bytes(&[32, 16, 8]).unwrap();
+        let arc: std::sync::Arc<[u8]> = bytes.into();
+        if !(arc.as_ptr() as usize).is_multiple_of(8) {
+            return; // loader correctly errors on misaligned Arc payloads
+        }
+        let mut offset = 0;
+        let mut tiers = Vec::new();
+        while offset < arc.len() {
+            let (tier, used) = Rambo::open_view_at(&arc, offset).unwrap();
+            offset += used;
+            tiers.push(tier);
+        }
+        assert_eq!(offset, arc.len());
+        assert_eq!(tiers.len(), 3);
+        assert_eq!(tiers[0], r);
+        assert_eq!(tiers[1], r.folded(1).unwrap());
+        assert_eq!(tiers[2], r.folded(2).unwrap());
+        // Same query answers, zero false negatives on every tier.
+        for tier in &tiers {
+            assert!(tier.payload_borrows(&arc));
+            for &t in contents[3].iter().take(3) {
+                assert!(tier.query_u64(t).contains(&3));
+            }
+        }
+    }
+
+    #[test]
+    fn fold_catalog_rejects_bad_tier_lists() {
+        let (r, _) = build(16, 10, 13);
+        assert!(matches!(
+            r.fold_catalog_bytes(&[]),
+            Err(RamboError::FoldUnavailable(_))
+        ));
+        assert!(matches!(
+            r.fold_catalog_bytes(&[16, 16]),
+            Err(RamboError::FoldUnavailable(_))
+        ));
+        assert!(matches!(
+            r.fold_catalog_bytes(&[8, 16]),
+            Err(RamboError::FoldUnavailable(_))
+        ));
+        assert!(matches!(
+            r.fold_catalog_bytes(&[16, 6]),
             Err(RamboError::FoldUnavailable(_))
         ));
     }

@@ -313,6 +313,62 @@ proptest! {
         prop_assert!(qb.memoized_terms() <= capacity, "capacity must bound the memo");
     }
 
+    /// Fold/shard interplay: [`rambo_core::ShardedRambo::stack`] followed
+    /// by `fold_once` is **bit-identical** to folding the equivalent
+    /// monolithic two-level build with the same seed. Fold-over OR-s bucket
+    /// `b` with `b + B/2`; stacking places node `n`'s buckets at
+    /// `n·b_local`; the two compose only because stacking reproduces the
+    /// monolithic layout exactly — this pins that composition (§5.3's
+    /// "preserves all the mathematical properties" claim, one step further
+    /// than the stack ≡ monolithic test in the sharded module).
+    #[test]
+    fn stack_then_fold_equals_monolithic_fold(
+        archive in archive_strategy(24),
+        nodes in 2u64..5,
+        local in 2u64..6,
+        folds in 1u32..3,
+        seed in any::<u64>(),
+    ) {
+        let total = nodes * local;
+        // Folding `folds` times needs divisibility and ≥ 4 buckets at every
+        // intermediate step.
+        prop_assume!(total.is_multiple_of(1 << folds) && (total >> folds) >= 2 && total >= 4);
+        let p = RamboParams::two_level(nodes, local, 2, 1 << 10, 2, seed);
+
+        // Sharded: route, ingest per node, stack.
+        let mut sharded = rambo_core::ShardedRambo::new(p).unwrap();
+        let mut by_node: Vec<Vec<&(String, Vec<u64>)>> = vec![Vec::new(); nodes as usize];
+        for doc in &archive.docs {
+            by_node[sharded.route(&doc.0) as usize].push(doc);
+        }
+        for (name, terms) in &archive.docs {
+            sharded.ingest_document(name, terms.iter().copied()).unwrap();
+        }
+        let mut stacked = sharded.stack().unwrap();
+
+        // Monolithic reference, inserted in node-major order so document ids
+        // align with the stacked renumbering.
+        let mut mono = Rambo::new(p).unwrap();
+        for node_docs in by_node {
+            for (name, terms) in node_docs {
+                mono.insert_document(name, terms.iter().copied()).unwrap();
+            }
+        }
+        prop_assert_eq!(&stacked, &mono, "stacking must be lossless pre-fold");
+
+        stacked.fold_times(folds).unwrap();
+        mono.fold_times(folds).unwrap();
+        prop_assert_eq!(&stacked, &mono, "fold after stack must equal monolithic fold");
+
+        // And the folded index still has zero false negatives.
+        for (d, (_, terms)) in archive.docs.iter().take(4).enumerate() {
+            let id = stacked.document_id(&archive.docs[d].0).unwrap();
+            if let Some(&t) = terms.first() {
+                prop_assert!(stacked.query_u64(t).contains(&id));
+            }
+        }
+    }
+
     /// Multi-term queries (Algorithm 2 semantics) always contain every
     /// document holding *all* the queried terms.
     #[test]

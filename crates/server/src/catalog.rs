@@ -1,0 +1,314 @@
+//! The fold-over tier catalog: several serialized versions of one RAMBO
+//! index — the base build plus progressively folded copies — opened
+//! zero-copy out of a single shared buffer, with an FPR-budget routing rule.
+//!
+//! This is the serving-side half of the paper's §5.3 / Table 4 workflow:
+//! "a one-time processing allows us to create several versions of RAMBO
+//! with varying sizes and FP rates". Construction writes the versions
+//! back-to-back ([`rambo_core::Rambo::fold_catalog_bytes`]); the catalog
+//! walks the concatenation with [`Rambo::open_view_at`], so all tiers
+//! *borrow* their filter payloads from one `Arc<[u8]>` — opening a catalog
+//! costs metadata, not payload, no matter how many tiers it holds.
+
+use rambo_core::{theory, Rambo, RamboError};
+use std::sync::Arc;
+
+/// Term multiplicity assumed when predicting a tier's false-positive rate.
+/// Serving cannot know each query term's true document multiplicity `V`, so
+/// the catalog quotes Lemma 4.1 at `V = 1` (the rare-term case the paper's
+/// k-mer workloads are dominated by); the prediction is used for *relative*
+/// tier ordering, which is unaffected by the choice of `V`.
+const CATALOG_FPR_V: u32 = 1;
+
+/// Description of one catalog tier (one fold-over version of the index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierInfo {
+    /// Position in the catalog: 0 is the unfolded (largest, most accurate)
+    /// version; higher tiers are smaller and less accurate.
+    pub tier: usize,
+    /// How many times this version was folded from the base build.
+    pub fold_factor: u32,
+    /// Bucket count `B` of this version.
+    pub buckets: u64,
+    /// Byte offset of the serialized version inside the catalog buffer.
+    pub offset: usize,
+    /// Serialized length in bytes.
+    pub encoded_len: usize,
+    /// In-memory payload size ([`Rambo::size_bytes`]).
+    pub size_bytes: usize,
+    /// Predicted per-BFU false-positive rate: the §2.1 estimate
+    /// `(1 − e^{−ηn/m})^η` at the tier's geometry and mean per-bucket key
+    /// count derived from the recorded insertion total. Computed from
+    /// **metadata only** — opening a catalog never scans filter payloads
+    /// (that would defeat the zero-copy open; the measured alternative is
+    /// [`Rambo::estimated_bfu_fpr`] on demand). Conservative: the insertion
+    /// total counts duplicates that Bloom insertion dedupes.
+    pub bfu_fpr: f64,
+    /// Predicted per-document query FPR — Lemma 4.1 at the predicted
+    /// per-BFU rate and `V = 1`. Strictly grows with the fold factor
+    /// (folding doubles per-bucket keys and shrinks `B`); tier selection
+    /// compares budgets to this.
+    pub predicted_fpr: f64,
+}
+
+/// One tier: the zero-copy index view plus its description.
+#[derive(Debug)]
+struct Tier {
+    index: Rambo,
+    info: TierInfo,
+}
+
+/// An ordered set of fold-over versions of one index, sharing a single
+/// backing buffer, with FPR-budget tier selection.
+///
+/// Tier 0 is the most accurate (lowest FPR, largest footprint); each
+/// subsequent tier is a further-folded, strictly smaller version. A request
+/// carrying an FPR budget is routed to the *smallest* tier whose predicted
+/// FPR still satisfies the budget — loosening the budget frees memory
+/// bandwidth, tightening it buys accuracy, exactly the trade Table 4
+/// quantifies.
+#[derive(Debug)]
+pub struct Catalog {
+    buf: Arc<[u8]>,
+    tiers: Vec<Tier>,
+}
+
+impl Catalog {
+    /// Build a catalog from a live index: serialize `base` folded to each
+    /// geometry in `tier_buckets` (strictly decreasing; see
+    /// [`Rambo::fold_catalog_bytes`]) and re-open every version zero-copy
+    /// from the concatenated buffer.
+    ///
+    /// # Errors
+    /// Everything [`Rambo::fold_catalog_bytes`] and [`Catalog::open`] can
+    /// raise.
+    pub fn build(base: &Rambo, tier_buckets: &[u64]) -> Result<Self, RamboError> {
+        let bytes = base.fold_catalog_bytes(tier_buckets)?;
+        Self::open(bytes.into())
+    }
+
+    /// [`Catalog::build`] with `levels` halvings from the base geometry:
+    /// tiers `B, B/2, …, B/2^levels`.
+    ///
+    /// # Errors
+    /// [`RamboError::FoldUnavailable`] when a halving is unreachable, plus
+    /// everything [`Catalog::build`] can raise.
+    pub fn build_halving(base: &Rambo, levels: u32) -> Result<Self, RamboError> {
+        let tiers: Vec<u64> = (0..=levels).map(|l| base.buckets() >> l).collect();
+        Self::build(base, &tiers)
+    }
+
+    /// Open a catalog from its serialized form: a buffer holding one or
+    /// more concatenated index versions (the [`Rambo::fold_catalog_bytes`]
+    /// layout — typically a memory-mapped catalog file). Every tier borrows
+    /// its payload from `buf`.
+    ///
+    /// # Errors
+    /// [`RamboError::Decode`] on malformed bytes, and
+    /// [`RamboError::InvalidParams`] when the versions are not strictly
+    /// shrinking in bucket count (the selection rule needs that order).
+    pub fn open(buf: Arc<[u8]>) -> Result<Self, RamboError> {
+        let mut tiers = Vec::new();
+        let mut offset = 0;
+        while offset < buf.len() {
+            let (index, used) = Rambo::open_view_at(&buf, offset)?;
+            if let Some(prev) = tiers.last() {
+                let prev: &Tier = prev;
+                if index.buckets() >= prev.info.buckets {
+                    return Err(RamboError::InvalidParams(format!(
+                        "catalog tiers must shrink: tier {} has {} buckets after {}",
+                        tiers.len(),
+                        index.buckets(),
+                        prev.info.buckets
+                    )));
+                }
+            }
+            // Metadata-only FPR prediction (see [`TierInfo::bfu_fpr`]):
+            // mean keys per BFU ≈ recorded insertions / current buckets.
+            let keys_per_bucket = (index.total_inserts() / index.buckets().max(1)) as usize;
+            let bfu_fpr =
+                theory::bfu_fpr(index.params().bfu_bits, keys_per_bucket, index.params().eta);
+            let info = TierInfo {
+                tier: tiers.len(),
+                fold_factor: index.fold_factor(),
+                buckets: index.buckets(),
+                offset,
+                encoded_len: used,
+                size_bytes: index.size_bytes(),
+                bfu_fpr,
+                predicted_fpr: theory::per_doc_fpr(
+                    bfu_fpr,
+                    index.buckets(),
+                    CATALOG_FPR_V,
+                    index.repetitions(),
+                ),
+            };
+            tiers.push(Tier { index, info });
+            offset += used;
+        }
+        if tiers.is_empty() {
+            return Err(RamboError::InvalidParams("empty catalog buffer".into()));
+        }
+        Ok(Self { buf, tiers })
+    }
+
+    /// Number of tiers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Always false — [`Catalog::open`] rejects empty buffers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// The shared backing buffer (for persisting: write these bytes to disk
+    /// and re-open them with [`Catalog::open`]).
+    #[must_use]
+    pub fn buffer(&self) -> &Arc<[u8]> {
+        &self.buf
+    }
+
+    /// A tier's index.
+    ///
+    /// # Panics
+    /// Panics when `tier` is out of range.
+    #[must_use]
+    pub fn tier(&self, tier: usize) -> &Rambo {
+        &self.tiers[tier].index
+    }
+
+    /// A tier's description.
+    ///
+    /// # Panics
+    /// Panics when `tier` is out of range.
+    #[must_use]
+    pub fn info(&self, tier: usize) -> &TierInfo {
+        &self.tiers[tier].info
+    }
+
+    /// All tier descriptions, tier 0 first.
+    #[must_use]
+    pub fn infos(&self) -> Vec<TierInfo> {
+        self.tiers.iter().map(|t| t.info.clone()).collect()
+    }
+
+    /// Route an FPR budget to a tier: the **smallest** (highest-numbered)
+    /// tier whose predicted FPR is at most `fpr_budget`. A budget tighter
+    /// than every tier falls back to tier 0, the most accurate version —
+    /// the server can not do better than its best index.
+    #[must_use]
+    pub fn select(&self, fpr_budget: f64) -> usize {
+        self.tiers
+            .iter()
+            .rposition(|t| t.info.predicted_fpr <= fpr_budget)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rambo_core::RamboParams;
+
+    fn build_base(buckets: u64, docs: usize, seed: u64) -> Rambo {
+        let mut r = Rambo::new(RamboParams::flat(buckets, 3, 1 << 12, 2, seed)).unwrap();
+        for d in 0..docs {
+            let base = (d as u64) << 24;
+            r.insert_document(&format!("doc{d}"), (0..60u64).map(|t| base | t))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn tiers_shrink_and_fpr_grows() {
+        // Buckets must stay above word granularity (64 columns per matrix
+        // row) for folding to actually narrow the rows.
+        let base = build_base(256, 120, 1);
+        let cat = Catalog::build_halving(&base, 2).unwrap();
+        assert_eq!(cat.len(), 3);
+        let infos = cat.infos();
+        for w in infos.windows(2) {
+            assert!(w[1].size_bytes < w[0].size_bytes, "tiers must shrink");
+            assert!(w[1].encoded_len < w[0].encoded_len);
+            assert!(
+                w[1].predicted_fpr > w[0].predicted_fpr,
+                "folding must raise predicted FPR"
+            );
+        }
+        assert_eq!(infos[0].buckets, 256);
+        assert_eq!(infos[2].buckets, 64);
+        assert_eq!(infos[2].fold_factor, 2);
+        // Every tier is a zero-copy view of the shared buffer.
+        for t in 0..cat.len() {
+            assert!(cat.tier(t).payload_borrows(cat.buffer()));
+        }
+    }
+
+    #[test]
+    fn loosening_the_budget_selects_strictly_smaller_tiers() {
+        let base = build_base(256, 120, 2);
+        let cat = Catalog::build_halving(&base, 2).unwrap();
+        let infos = cat.infos();
+        // A budget exactly at a tier's predicted FPR admits that tier.
+        for info in &infos {
+            assert_eq!(cat.select(info.predicted_fpr), info.tier);
+        }
+        // Budgets between consecutive tiers' FPRs pick the larger tier;
+        // crossing a tier's FPR strictly shrinks the selected size.
+        let tight = cat.select(infos[0].predicted_fpr);
+        let loose = cat.select(infos[1].predicted_fpr);
+        let loosest = cat.select(1.0);
+        assert!(loose > tight);
+        assert!(loosest > loose || loosest == cat.len() - 1);
+        assert!(cat.info(loose).size_bytes < cat.info(tight).size_bytes);
+        // Impossible budget → most accurate tier.
+        assert_eq!(cat.select(0.0), 0);
+        assert_eq!(cat.select(infos[0].predicted_fpr / 2.0), 0);
+    }
+
+    #[test]
+    fn open_roundtrips_the_buffer() {
+        let base = build_base(16, 40, 3);
+        let cat = Catalog::build_halving(&base, 1).unwrap();
+        let reopened = Catalog::open(cat.buffer().clone()).unwrap();
+        assert_eq!(reopened.len(), cat.len());
+        for t in 0..cat.len() {
+            assert_eq!(reopened.tier(t), cat.tier(t));
+            assert_eq!(reopened.info(t), cat.info(t));
+        }
+    }
+
+    #[test]
+    fn every_tier_answers_queries_without_false_negatives() {
+        let base = build_base(32, 60, 4);
+        let cat = Catalog::build_halving(&base, 2).unwrap();
+        for t in 0..cat.len() {
+            for d in [0usize, 17, 59] {
+                let term = ((d as u64) << 24) | 5;
+                assert!(
+                    cat.tier(t).query_u64(term).contains(&(d as u32)),
+                    "tier {t} lost doc {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_catalogs() {
+        assert!(Catalog::open(Vec::new().into()).is_err());
+        let base = build_base(16, 20, 5);
+        let mut bytes = base.to_bytes().unwrap();
+        let good_len = bytes.len();
+        bytes.extend(base.to_bytes().unwrap()); // equal buckets: not shrinking
+        assert!(matches!(
+            Catalog::open(bytes.clone().into()),
+            Err(RamboError::InvalidParams(_))
+        ));
+        bytes.truncate(good_len + 10); // trailing garbage
+        assert!(Catalog::open(bytes.into()).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! # rambo-server — micro-batching, multi-core serving over a fold-over tier catalog
+//!
+//! The paper's operational story has two halves. Construction ends with
+//! "a one-time processing allows us to create several versions of RAMBO
+//! with varying sizes and FP rates" (§5.3, Table 4) — the fold-over
+//! catalog. Serving 170TB "at interactive speed" to many concurrent
+//! clients then requires a query path that picks the right version per
+//! request and keeps every core busy without re-probing shared work. This
+//! crate is that serving path, std-only:
+//!
+//! * [`Catalog`] — several fold-over versions of one index opened
+//!   **zero-copy** out of a single shared `Arc<[u8]>` buffer
+//!   ([`rambo_core::Rambo::open_view_at`]), each tier annotated with its
+//!   metadata-predicted per-BFU FPR and its Lemma-4.1 query FPR. A
+//!   request's FPR budget routes it to the *smallest* tier that satisfies
+//!   the budget: loose budgets run in the folded, cache-friendlier
+//!   versions, tight budgets in the full build.
+//! * [`Server`] — per-core evaluator workers (scoped threads, one
+//!   zero-copy tier view each) behind bounded per-tier admission queues.
+//!   Workers **micro-batch**: each takes whatever requests are queued (up
+//!   to `max_batch`, waiting at most `max_delay` for stragglers), then
+//!   evaluates the batch through a tier-local
+//!   [`rambo_core::QueryBatch`], so the LRU per-term bucket-mask memo and
+//!   the query scratch amortize across concurrent clients — sequence
+//!   workloads share most terms between adjacent requests. Backpressure
+//!   is explicit ([`ServerError::Overloaded`]), deadlines are enforced on
+//!   both sides of the queue, and shutdown is structural: leaving
+//!   [`Server::scope`] drains and joins everything, returning a final
+//!   [`ServerStats`] snapshot of per-tier latency/throughput/hit counters.
+//! * [`serve_tcp`] — an optional length-prefixed TCP front over
+//!   `std::net`, with [`TcpClient`] as the matching blocking client.
+//!
+//! ```
+//! use rambo_core::{Rambo, RamboParams};
+//! use rambo_server::{Catalog, Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! // A small index: 16 buckets, 3 repetitions.
+//! let mut index = Rambo::new(RamboParams::flat(16, 3, 1 << 12, 2, 7)).unwrap();
+//! for d in 0..32u64 {
+//!     index
+//!         .insert_document(&format!("doc{d}"), (0..50).map(|t| d << 16 | t))
+//!         .unwrap();
+//! }
+//! // Three fold-over tiers: 16, 8 and 4 buckets.
+//! let catalog = Catalog::build_halving(&index, 2).unwrap();
+//! let (reply, stats) = Server::scope(&catalog, ServerConfig::default(), |handle| {
+//!     handle
+//!         .query(&[3 << 16 | 9], 0.0, Duration::from_secs(1))
+//!         .unwrap()
+//! });
+//! assert!(reply.docs.contains(&3));
+//! assert_eq!(reply.tier, 0); // budget 0.0 → most accurate tier
+//! assert_eq!(stats.total_completed(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod scheduler;
+mod server;
+mod stats;
+mod tcp;
+
+pub use catalog::{Catalog, TierInfo};
+pub use server::{
+    PendingReply, QueryOptions, QueryReply, Server, ServerConfig, ServerError, ServerHandle,
+};
+pub use stats::{ServerStats, TierStats};
+pub use tcp::{serve_tcp, TcpClient, TcpClientError};

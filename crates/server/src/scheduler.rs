@@ -1,0 +1,141 @@
+//! The micro-batching evaluator worker.
+//!
+//! One tier lane = one bounded [`std::sync::mpsc`] intake shared by the
+//! tier's workers. A worker takes the intake lock, blocks for the first
+//! request, then *collects*: it greedily drains whatever else is queued and
+//! — while the batch is still short of `max_batch` — waits up to `max_delay`
+//! for stragglers (never past the earliest pending deadline). It then
+//! releases the lock (handing the intake to a sibling worker) and evaluates
+//! the whole batch through its tier-local [`QueryBatch`], so the per-term
+//! bucket-mask memo and the query scratch stay hot across every request in
+//! the batch — the §3.3.1 sequence workloads this engine targets share most
+//! of their terms between adjacent requests.
+//!
+//! `max_delay = 0` degenerates to greedy adaptive batching (evaluate
+//! whatever accumulated while the previous batch ran — no added latency);
+//! `max_batch = 1` degenerates to one-query-at-a-time serving, which is the
+//! baseline the `serve_load` bench compares against.
+
+use crate::stats::TierCounters;
+use rambo_core::{DocId, QueryBatch, QueryMode, Rambo};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One in-flight query.
+pub(crate) struct Request {
+    /// Query terms (Algorithm 2 all-terms semantics).
+    pub terms: Vec<u64>,
+    /// Evaluation mode.
+    pub mode: QueryMode,
+    /// Instant after which the request must not be evaluated.
+    pub deadline: Instant,
+    /// Submission instant (latency accounting).
+    pub submitted: Instant,
+    /// Oneshot reply channel (capacity 1; the send never blocks).
+    pub reply: SyncSender<Reply>,
+}
+
+/// Worker → client reply.
+pub(crate) enum Reply {
+    /// Matching document ids, ascending.
+    Docs(Vec<DocId>),
+    /// The request's deadline passed before a worker reached it.
+    Expired,
+}
+
+/// Batching knobs, copied per worker.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchKnobs {
+    pub max_batch: usize,
+    pub max_delay: Duration,
+}
+
+/// Run one evaluator worker until the intake disconnects (all request
+/// senders dropped — the scope-exit shutdown path). Pending requests are
+/// drained, not dropped: disconnection only stops the *collection* of new
+/// batches.
+pub(crate) fn run_worker(
+    index: &Rambo,
+    intake: &Mutex<Receiver<Request>>,
+    knobs: BatchKnobs,
+    counters: &TierCounters,
+) {
+    let mut evaluator = QueryBatch::new(index);
+    let mut batch: Vec<Request> = Vec::with_capacity(knobs.max_batch.max(1));
+    loop {
+        let disconnected = {
+            // Collection happens under the intake lock; evaluation (below)
+            // does not, so sibling workers pipeline: one collects while
+            // another evaluates.
+            let rx = intake.lock().expect("a sibling worker panicked");
+            collect_batch(&rx, &knobs, &mut batch)
+        };
+        if !batch.is_empty() {
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        for req in batch.drain(..) {
+            if Instant::now() >= req.deadline {
+                counters.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.try_send(Reply::Expired);
+                continue;
+            }
+            let docs = evaluator.query_terms(&req.terms, req.mode);
+            counters
+                .hits
+                .fetch_add(docs.len() as u64, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            counters.latency.record(req.submitted.elapsed());
+            // A client that gave up (dropped its reply receiver) is not an
+            // error; the result is simply discarded.
+            let _ = req.reply.try_send(Reply::Docs(docs));
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Fill `batch` from the intake: block for the first request, drain eagerly,
+/// then wait up to `max_delay` (capped by the earliest pending deadline) for
+/// more. Returns true when the channel disconnected.
+fn collect_batch(rx: &Receiver<Request>, knobs: &BatchKnobs, batch: &mut Vec<Request>) -> bool {
+    match rx.recv() {
+        Err(_) => return true,
+        Ok(first) => batch.push(first),
+    }
+    let collect_until = Instant::now() + knobs.max_delay;
+    while batch.len() < knobs.max_batch {
+        match rx.try_recv() {
+            Ok(req) => {
+                batch.push(req);
+                continue;
+            }
+            Err(TryRecvError::Disconnected) => return true,
+            Err(TryRecvError::Empty) => {}
+        }
+        // Queue empty: wait for stragglers, but never past the collection
+        // window, and never deep into a pending deadline — waking *at* the
+        // deadline would expire the very request the wait was serving, so
+        // the cap leaves half the tightest request's remaining budget for
+        // evaluation.
+        let earliest_deadline = batch
+            .iter()
+            .map(|r| r.deadline)
+            .min()
+            .expect("batch holds at least the first request");
+        let now = Instant::now();
+        let deadline_cap = now + earliest_deadline.saturating_duration_since(now) / 2;
+        let wait_until = collect_until.min(deadline_cap);
+        if now >= wait_until {
+            return false;
+        }
+        match rx.recv_timeout(wait_until - now) {
+            Ok(req) => batch.push(req),
+            Err(RecvTimeoutError::Timeout) => return false,
+            Err(RecvTimeoutError::Disconnected) => return true,
+        }
+    }
+    false
+}

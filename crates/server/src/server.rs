@@ -1,0 +1,352 @@
+//! The serving engine: scoped per-core evaluator workers over a tier
+//! catalog, with bounded admission and an in-process query API.
+//!
+//! Lifecycle is scope-shaped ([`Server::scope`]): workers are scoped
+//! threads borrowing the catalog (no payload duplication — each worker's
+//! evaluator borrows its tier's zero-copy view), the closure receives a
+//! [`ServerHandle`] to submit queries (or to pass to
+//! [`crate::serve_tcp`]), and when the closure returns the intake channels
+//! close, workers drain every admitted request, and the joined, quiesced
+//! counters come back as a [`ServerStats`] snapshot. There is no detached
+//! state to leak and no shutdown flag to forget.
+
+use crate::catalog::Catalog;
+use crate::scheduler::{run_worker, BatchKnobs, Reply, Request};
+use crate::stats::{ServerStats, TierCounters};
+use rambo_core::{default_threads, DocId, QueryMode};
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Largest micro-batch a worker evaluates in one pass. `1` disables
+    /// batching (the one-query-at-a-time baseline).
+    pub max_batch: usize,
+    /// How long a worker with a short batch waits for stragglers once the
+    /// queue runs empty. `0` means greedy adaptive batching: evaluate
+    /// whatever accumulated while the previous batch ran, never wait.
+    pub max_delay: Duration,
+    /// Bounded admission queue depth per tier; a full queue rejects with
+    /// [`ServerError::Overloaded`] instead of buffering without limit.
+    pub queue_capacity: usize,
+    /// Evaluator workers per tier (defaults to the machine's available
+    /// parallelism — one evaluator per core).
+    pub workers_per_tier: usize,
+    /// Evaluation mode for requests that do not specify one.
+    pub default_mode: QueryMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_micros(100),
+            queue_capacity: 1024,
+            workers_per_tier: default_threads(),
+            default_mode: QueryMode::Full,
+        }
+    }
+}
+
+/// Why the server could not answer a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The selected tier's admission queue was full (backpressure): retry
+    /// later, shed the request, or widen `queue_capacity`.
+    Overloaded {
+        /// Tier whose queue was full.
+        tier: usize,
+    },
+    /// The deadline passed before the request was evaluated (either dropped
+    /// unevaluated by a worker or timed out waiting for the reply).
+    DeadlineExceeded {
+        /// Tier the request was routed to.
+        tier: usize,
+    },
+    /// An explicitly requested tier does not exist in the catalog.
+    UnknownTier(usize),
+    /// The server is shutting down (intake closed).
+    Disconnected,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { tier } => write!(f, "tier {tier} admission queue is full"),
+            Self::DeadlineExceeded { tier } => {
+                write!(f, "deadline passed before tier {tier} answered")
+            }
+            Self::UnknownTier(tier) => write!(f, "catalog has no tier {tier}"),
+            Self::Disconnected => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Per-query options for [`ServerHandle::submit`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Acceptable per-document false-positive rate; the request is routed to
+    /// the smallest catalog tier satisfying it ([`Catalog::select`]). The
+    /// default `0.0` always picks tier 0, the most accurate version.
+    pub fpr_budget: f64,
+    /// Give-up horizon measured from submission.
+    pub deadline: Duration,
+    /// Evaluation mode; `None` uses the server's default.
+    pub mode: Option<QueryMode>,
+    /// Bypass budget routing and hit this tier directly.
+    pub tier: Option<usize>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            fpr_budget: 0.0,
+            deadline: Duration::from_secs(1),
+            mode: None,
+            tier: None,
+        }
+    }
+}
+
+/// A successfully answered query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Matching document ids, ascending (zero false negatives, per-tier
+    /// false-positive rate as catalogued).
+    pub docs: Vec<DocId>,
+    /// The tier that evaluated the query.
+    pub tier: usize,
+}
+
+/// An admitted, not-yet-answered query (from [`ServerHandle::submit`]).
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: Receiver<Reply>,
+    tier: usize,
+    deadline: Instant,
+}
+
+impl PendingReply {
+    /// The tier the request was routed to.
+    #[must_use]
+    pub fn tier(&self) -> usize {
+        self.tier
+    }
+
+    /// Block until the reply arrives or the request's deadline passes.
+    ///
+    /// # Errors
+    /// [`ServerError::DeadlineExceeded`] on timeout or worker-side expiry,
+    /// [`ServerError::Disconnected`] when the server dropped the request
+    /// during shutdown.
+    pub fn wait(self) -> Result<QueryReply, ServerError> {
+        let timeout = self.deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(timeout) {
+            Ok(Reply::Docs(docs)) => Ok(QueryReply {
+                docs,
+                tier: self.tier,
+            }),
+            Ok(Reply::Expired) | Err(RecvTimeoutError::Timeout) => {
+                Err(ServerError::DeadlineExceeded { tier: self.tier })
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServerError::Disconnected),
+        }
+    }
+}
+
+/// One tier's intake lane as seen by the handle.
+struct Lane<'env> {
+    tx: SyncSender<Request>,
+    counters: &'env TierCounters,
+}
+
+/// The in-process client surface of a running server. `Sync`: any number of
+/// threads may submit queries through one handle (the TCP front does).
+pub struct ServerHandle<'env> {
+    catalog: &'env Catalog,
+    lanes: Vec<Lane<'env>>,
+    default_mode: QueryMode,
+}
+
+impl<'env> ServerHandle<'env> {
+    /// The catalog being served.
+    #[must_use]
+    pub fn catalog(&self) -> &'env Catalog {
+        self.catalog
+    }
+
+    /// Submit a query without blocking for its answer.
+    ///
+    /// # Errors
+    /// [`ServerError::Overloaded`] when the routed tier's queue is full,
+    /// [`ServerError::UnknownTier`] for an out-of-range explicit tier,
+    /// [`ServerError::Disconnected`] during shutdown.
+    pub fn submit(&self, terms: &[u64], opts: &QueryOptions) -> Result<PendingReply, ServerError> {
+        let tier = match opts.tier {
+            Some(t) if t < self.lanes.len() => t,
+            Some(t) => return Err(ServerError::UnknownTier(t)),
+            None => self.catalog.select(opts.fpr_budget),
+        };
+        let lane = &self.lanes[tier];
+        let submitted = Instant::now();
+        let deadline = submitted + opts.deadline;
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let request = Request {
+            terms: terms.to_vec(),
+            mode: opts.mode.unwrap_or(self.default_mode),
+            deadline,
+            submitted,
+            reply: reply_tx,
+        };
+        match lane.tx.try_send(request) {
+            Ok(()) => {
+                lane.counters
+                    .accepted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(PendingReply {
+                    rx: reply_rx,
+                    tier,
+                    deadline,
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                lane.counters
+                    .rejected
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(ServerError::Overloaded { tier })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Submit and block for the answer: route by `fpr_budget`, wait at most
+    /// `deadline`.
+    ///
+    /// # Errors
+    /// See [`ServerHandle::submit`] and [`PendingReply::wait`].
+    pub fn query(
+        &self,
+        terms: &[u64],
+        fpr_budget: f64,
+        deadline: Duration,
+    ) -> Result<QueryReply, ServerError> {
+        self.query_opts(
+            terms,
+            &QueryOptions {
+                fpr_budget,
+                deadline,
+                ..QueryOptions::default()
+            },
+        )
+    }
+
+    /// [`ServerHandle::query`] with full per-query options.
+    ///
+    /// # Errors
+    /// See [`ServerHandle::submit`] and [`PendingReply::wait`].
+    pub fn query_opts(
+        &self,
+        terms: &[u64],
+        opts: &QueryOptions,
+    ) -> Result<QueryReply, ServerError> {
+        self.submit(terms, opts)?.wait()
+    }
+
+    /// Snapshot of the per-tier counters (safe while serving; counts may
+    /// trail in-flight work by a few relaxed stores).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            tiers: self
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(t, lane)| lane.counters.snapshot(self.catalog.info(t)))
+                .collect(),
+        }
+    }
+}
+
+/// The serving engine. See [`Server::scope`].
+pub struct Server;
+
+impl Server {
+    /// Run a server over `catalog` for the duration of `f`.
+    ///
+    /// Spawns `workers_per_tier` scoped evaluator threads per catalog tier
+    /// (each borrowing its tier's zero-copy view), hands `f` a
+    /// [`ServerHandle`], and on return closes the intakes, lets the workers
+    /// drain every admitted request, joins them, and returns `f`'s output
+    /// together with the final [`ServerStats`].
+    ///
+    /// # Panics
+    /// Panics if `max_batch`, `queue_capacity` or `workers_per_tier` is
+    /// zero, or if a worker thread panics.
+    pub fn scope<T>(
+        catalog: &Catalog,
+        config: ServerConfig,
+        f: impl FnOnce(&ServerHandle<'_>) -> T,
+    ) -> (T, ServerStats) {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue_capacity must be at least 1"
+        );
+        assert!(
+            config.workers_per_tier >= 1,
+            "workers_per_tier must be at least 1"
+        );
+        let knobs = BatchKnobs {
+            max_batch: config.max_batch,
+            max_delay: config.max_delay,
+        };
+        let counters: Vec<TierCounters> = (0..catalog.len()).map(|_| TierCounters::new()).collect();
+        let mut intakes = Vec::with_capacity(catalog.len());
+        let mut receivers = Vec::with_capacity(catalog.len());
+        for _ in 0..catalog.len() {
+            let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_capacity);
+            intakes.push(tx);
+            receivers.push(Mutex::new(rx));
+        }
+        let out = std::thread::scope(|scope| {
+            for (tier, intake) in receivers.iter().enumerate() {
+                let index = catalog.tier(tier);
+                let tier_counters = &counters[tier];
+                for w in 0..config.workers_per_tier {
+                    std::thread::Builder::new()
+                        .name(format!("rambo-serve-t{tier}-w{w}"))
+                        .spawn_scoped(scope, move || {
+                            run_worker(index, intake, knobs, tier_counters);
+                        })
+                        .expect("spawn evaluator worker");
+                }
+            }
+            let handle = ServerHandle {
+                catalog,
+                lanes: intakes
+                    .into_iter()
+                    .zip(&counters)
+                    .map(|(tx, counters)| Lane { tx, counters })
+                    .collect(),
+                default_mode: config.default_mode,
+            };
+            // `handle` (and with it every intake sender) drops here, which
+            // disconnects the lanes; workers drain and exit, and the scope
+            // joins them before returning.
+            f(&handle)
+        });
+        let stats = ServerStats {
+            tiers: counters
+                .iter()
+                .enumerate()
+                .map(|(t, c)| c.snapshot(catalog.info(t)))
+                .collect(),
+        };
+        (out, stats)
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-tier serving counters and their exported snapshot.
+//!
+//! Workers and the admission path record into lock-free atomics (one relaxed
+//! increment per event, a [`LatencyHistogram`] bucket bump per completion);
+//! [`ServerStats`] is the read side — a plain-data snapshot safe to take
+//! while the server runs and returned after it drains.
+
+use crate::catalog::TierInfo;
+use rambo_workloads::stats::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters for one tier lane. All increments are relaxed: counters are
+/// monotone event counts with no cross-counter invariant to order.
+#[derive(Debug, Default)]
+pub(crate) struct TierCounters {
+    /// Requests admitted to the tier's queue.
+    pub accepted: AtomicU64,
+    /// Requests rejected at admission (queue full → `Overloaded`).
+    pub rejected: AtomicU64,
+    /// Requests evaluated and answered.
+    pub completed: AtomicU64,
+    /// Requests dropped unevaluated because their deadline had passed by the
+    /// time a worker dequeued them.
+    pub expired: AtomicU64,
+    /// Micro-batches evaluated (`completed + expired` over `batches` gives
+    /// the mean batch size).
+    pub batches: AtomicU64,
+    /// Total documents returned (hit counter).
+    pub hits: AtomicU64,
+    /// Submit→completion latency of answered requests.
+    pub latency: LatencyHistogram,
+}
+
+impl TierCounters {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn snapshot(&self, info: &TierInfo) -> TierStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let expired = self.expired.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        TierStats {
+            tier: info.tier,
+            buckets: info.buckets,
+            predicted_fpr: info.predicted_fpr,
+            size_bytes: info.size_bytes,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            expired,
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                (completed + expired) as f64 / batches as f64
+            },
+            hits: self.hits.load(Ordering::Relaxed),
+            mean: self.latency.mean(),
+            p50: self.latency.quantile(0.50),
+            p99: self.latency.quantile(0.99),
+            max: self.latency.max(),
+        }
+    }
+}
+
+/// Snapshot of one tier's serving counters.
+#[derive(Debug, Clone)]
+pub struct TierStats {
+    /// Tier position in the catalog (0 = most accurate).
+    pub tier: usize,
+    /// Bucket count of the tier's index version.
+    pub buckets: u64,
+    /// The tier's predicted per-document FPR (the selection key).
+    pub predicted_fpr: f64,
+    /// In-memory payload size of the tier.
+    pub size_bytes: usize,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests evaluated and answered.
+    pub completed: u64,
+    /// Requests dropped past their deadline without evaluation.
+    pub expired: u64,
+    /// Micro-batches evaluated.
+    pub batches: u64,
+    /// Mean requests per micro-batch.
+    pub mean_batch: f64,
+    /// Total documents returned.
+    pub hits: u64,
+    /// Mean submit→completion latency.
+    pub mean: Duration,
+    /// Median submit→completion latency (log-linear histogram, ≤12.5% off).
+    pub p50: Duration,
+    /// 99th-percentile submit→completion latency.
+    pub p99: Duration,
+    /// Worst observed latency (exact).
+    pub max: Duration,
+}
+
+/// Snapshot of every tier's counters, tier 0 first.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Per-tier counters.
+    pub tiers: Vec<TierStats>,
+}
+
+impl ServerStats {
+    /// Total requests answered across tiers.
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        self.tiers.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total requests rejected at admission across tiers.
+    #[must_use]
+    pub fn total_rejected(&self) -> u64 {
+        self.tiers.iter().map(|t| t.rejected).sum()
+    }
+
+    /// Total micro-batches evaluated across tiers.
+    #[must_use]
+    pub fn total_batches(&self) -> u64 {
+        self.tiers.iter().map(|t| t.batches).sum()
+    }
+}

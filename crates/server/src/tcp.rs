@@ -1,0 +1,394 @@
+//! Length-prefixed TCP front over the in-process serving engine.
+//!
+//! Wire format (all little-endian):
+//!
+//! ```text
+//! request  := u32 len | u8 opcode(=1) | u8 mode(0 default,1 Full,2 Sparse)
+//!             | u16 reserved(=0) | f64 fpr_budget | u32 deadline_ms(0=1s)
+//!             | u32 n_terms | n_terms × u64
+//! response := u32 len | u8 status | u32 tier | u32 n_docs | n_docs × u32
+//! status   := 0 ok | 1 overloaded | 2 deadline exceeded | 3 bad request
+//! ```
+//!
+//! `len` counts the bytes after the length field. One connection carries any
+//! number of request/response pairs in order; closing the write side (or the
+//! whole socket) ends the session. The accept loop and per-connection
+//! handlers are scoped threads, so [`serve_tcp`] returns only after every
+//! connection has drained — pair it with the [`crate::Server::scope`]
+//! lifetime and a stop flag for clean shutdown.
+
+use crate::server::{QueryOptions, QueryReply, ServerError, ServerHandle};
+use rambo_core::QueryMode;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Upper bound on a frame payload (16 MiB ≈ two million query terms): a
+/// corrupt or hostile length prefix must not become an allocation.
+const MAX_FRAME_BYTES: usize = 16 << 20;
+/// How often blocked reads wake to check the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(25);
+
+const STATUS_OK: u8 = 0;
+const STATUS_OVERLOADED: u8 = 1;
+const STATUS_DEADLINE: u8 = 2;
+const STATUS_BAD_REQUEST: u8 = 3;
+
+/// Serve the handle over TCP until `stop` is set. Each accepted connection
+/// gets a scoped handler thread; the function returns after the accept loop
+/// stops and every handler has finished. Once `stop` is set, idle
+/// connections close at their next poll and connections stalled mid-frame
+/// are aborted (a dead client must not be able to block shutdown).
+///
+/// # Errors
+/// Propagates listener configuration errors and fatal accept failures (the
+/// latter also raise `stop`, so live handlers wind down instead of serving
+/// a listener-less process forever); per-connection I/O errors only end
+/// that connection.
+pub fn serve_tcp(
+    handle: &ServerHandle<'_>,
+    listener: TcpListener,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || {
+                        // Connection errors are not server errors.
+                        let _ = handle_connection(handle, stream, stop);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(STOP_POLL);
+                }
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Serve one connection: read frames, answer them in order, stop at EOF or
+/// when `stop` is set between frames.
+fn handle_connection(
+    handle: &ServerHandle<'_>,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(STOP_POLL))?;
+    let mut payload = Vec::new();
+    loop {
+        let Some(len) = read_frame_len(&mut stream, stop)? else {
+            return Ok(()); // clean EOF or stop
+        };
+        if len > MAX_FRAME_BYTES {
+            write_response(&mut stream, STATUS_BAD_REQUEST, 0, &[])?;
+            return Ok(());
+        }
+        payload.resize(len, 0);
+        read_exact_patient(&mut stream, &mut payload, stop)?;
+        match parse_request(&payload) {
+            None => {
+                // A frame that fails to parse may have desynchronized the
+                // stream; answer and close rather than guess at recovery.
+                write_response(&mut stream, STATUS_BAD_REQUEST, 0, &[])?;
+                return Ok(());
+            }
+            Some((terms, opts)) => match handle.query_opts(&terms, &opts) {
+                Ok(QueryReply { docs, tier }) => {
+                    write_response(&mut stream, STATUS_OK, tier as u32, &docs)?;
+                }
+                Err(ServerError::Overloaded { tier }) => {
+                    write_response(&mut stream, STATUS_OVERLOADED, tier as u32, &[])?;
+                }
+                Err(ServerError::DeadlineExceeded { tier }) => {
+                    write_response(&mut stream, STATUS_DEADLINE, tier as u32, &[])?;
+                }
+                Err(ServerError::UnknownTier(_) | ServerError::Disconnected) => {
+                    write_response(&mut stream, STATUS_BAD_REQUEST, 0, &[])?;
+                    return Ok(());
+                }
+            },
+        }
+    }
+}
+
+/// Read the 4-byte frame length, tolerating read timeouts between frames.
+/// Returns `None` on clean EOF before any byte, or when `stop` is set while
+/// idle.
+fn read_frame_len(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<usize>> {
+    let mut buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                // Idle between frames: the stop flag ends the session
+                // cleanly. Mid-prefix: keep waiting while serving, but a
+                // stalled sender must not outlive shutdown.
+                if stop.load(Ordering::Relaxed) {
+                    return if got == 0 { Ok(None) } else { Err(aborted()) };
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(u32::from_le_bytes(buf) as usize))
+}
+
+/// `read_exact` that retries through the read-timeout wakeups — until
+/// `stop` is set, at which point a stalled sender is aborted so shutdown
+/// can join the handler.
+fn read_exact_patient(
+    stream: &mut TcpStream,
+    mut buf: &mut [u8],
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.read(buf) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::Relaxed) {
+                    return Err(aborted());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The error a mid-frame connection is cut off with during shutdown.
+fn aborted() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        "connection aborted by server shutdown",
+    )
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Decode a request payload into terms and options.
+fn parse_request(payload: &[u8]) -> Option<(Vec<u64>, QueryOptions)> {
+    if payload.len() < 20 {
+        return None;
+    }
+    let opcode = payload[0];
+    let mode = match payload[1] {
+        0 => None,
+        1 => Some(QueryMode::Full),
+        2 => Some(QueryMode::Sparse),
+        _ => return None,
+    };
+    if opcode != 1 || payload[2] != 0 || payload[3] != 0 {
+        return None;
+    }
+    let fpr_budget = f64::from_le_bytes(payload[4..12].try_into().ok()?);
+    if !(0.0..=1.0).contains(&fpr_budget) {
+        return None;
+    }
+    let deadline_ms = u32::from_le_bytes(payload[12..16].try_into().ok()?);
+    let n_terms = u32::from_le_bytes(payload[16..20].try_into().ok()?) as usize;
+    let body = &payload[20..];
+    if body.len() != n_terms * 8 {
+        return None;
+    }
+    let terms = body
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect();
+    let opts = QueryOptions {
+        fpr_budget,
+        deadline: if deadline_ms == 0 {
+            Duration::from_secs(1)
+        } else {
+            Duration::from_millis(u64::from(deadline_ms))
+        },
+        mode,
+        tier: None,
+    };
+    Some((terms, opts))
+}
+
+/// Encode and send one response frame.
+fn write_response(stream: &mut TcpStream, status: u8, tier: u32, docs: &[u32]) -> io::Result<()> {
+    let len = 1 + 4 + 4 + docs.len() * 4;
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(status);
+    frame.extend_from_slice(&tier.to_le_bytes());
+    frame.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+    for &d in docs {
+        frame.extend_from_slice(&d.to_le_bytes());
+    }
+    stream.write_all(&frame)
+}
+
+/// Client-side error for [`TcpClient`].
+#[derive(Debug)]
+pub enum TcpClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with a non-OK status.
+    Server(ServerError),
+    /// The server sent a malformed or unknown frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for TcpClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Server(e) => write!(f, "server rejected the query: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Server(e) => Some(e),
+            Self::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TcpClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Minimal blocking client for the wire protocol (one in-flight query per
+/// connection; open several clients for concurrency).
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to a serving endpoint.
+    ///
+    /// # Errors
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Query with an FPR budget and a deadline.
+    ///
+    /// # Errors
+    /// [`TcpClientError::Server`] for overload/deadline rejections,
+    /// [`TcpClientError::Io`]/[`TcpClientError::Protocol`] on transport or
+    /// framing failures.
+    pub fn query(
+        &mut self,
+        terms: &[u64],
+        fpr_budget: f64,
+        deadline: Duration,
+    ) -> Result<QueryReply, TcpClientError> {
+        self.query_mode(terms, fpr_budget, deadline, None)
+    }
+
+    /// [`TcpClient::query`] with an explicit evaluation mode.
+    ///
+    /// # Errors
+    /// See [`TcpClient::query`].
+    pub fn query_mode(
+        &mut self,
+        terms: &[u64],
+        fpr_budget: f64,
+        deadline: Duration,
+        mode: Option<QueryMode>,
+    ) -> Result<QueryReply, TcpClientError> {
+        let deadline_ms = u32::try_from(deadline.as_millis().max(1)).unwrap_or(u32::MAX);
+        let len = 20 + terms.len() * 8;
+        let mut frame = Vec::with_capacity(4 + len);
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.push(1); // opcode: query
+        frame.push(match mode {
+            None => 0,
+            Some(QueryMode::Full) => 1,
+            Some(QueryMode::Sparse) => 2,
+        });
+        frame.extend_from_slice(&[0, 0]); // reserved
+        frame.extend_from_slice(&fpr_budget.to_le_bytes());
+        frame.extend_from_slice(&deadline_ms.to_le_bytes());
+        frame.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+        for &t in terms {
+            frame.extend_from_slice(&t.to_le_bytes());
+        }
+        self.stream.write_all(&frame)?;
+
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(9..=MAX_FRAME_BYTES).contains(&len) {
+            return Err(TcpClientError::Protocol(format!(
+                "response frame length {len} out of range"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        let status = payload[0];
+        let tier = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
+        let n_docs = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as usize;
+        match status {
+            STATUS_OK => {}
+            STATUS_OVERLOADED => {
+                return Err(TcpClientError::Server(ServerError::Overloaded { tier }))
+            }
+            STATUS_DEADLINE => {
+                return Err(TcpClientError::Server(ServerError::DeadlineExceeded {
+                    tier,
+                }))
+            }
+            STATUS_BAD_REQUEST => {
+                return Err(TcpClientError::Protocol(
+                    "server reported a bad request".into(),
+                ))
+            }
+            other => {
+                return Err(TcpClientError::Protocol(format!(
+                    "unknown response status {other}"
+                )))
+            }
+        }
+        if payload.len() != 9 + n_docs * 4 {
+            return Err(TcpClientError::Protocol(
+                "response length disagrees with document count".into(),
+            ));
+        }
+        let docs = payload[9..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect();
+        Ok(QueryReply { docs, tier })
+    }
+}

@@ -9,6 +9,7 @@ pub use rambo_bloom as bloom;
 pub use rambo_core as core;
 pub use rambo_hash as hash;
 pub use rambo_kmer as kmer;
+pub use rambo_server as server;
 pub use rambo_text as text;
 pub use rambo_workloads as workloads;
 

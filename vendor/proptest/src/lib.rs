@@ -416,7 +416,7 @@ pub mod sample {
 /// Everything a property-test module needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
 /// `assert!` under a proptest-compatible name.
@@ -435,6 +435,20 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!` under a proptest-compatible name: a failed assumption
+/// skips to the next generated case (the real crate re-draws instead of
+/// consuming a case; for the shim's fixed case counts the distinction does
+/// not matter). Only usable where [`proptest!`] places the body — directly
+/// inside the per-case loop.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
 }
 
 /// FNV-1a over the test name: a stable per-test seed.
