@@ -1,25 +1,42 @@
-//! Ingestion-throughput benchmark for the batch-parallel engine.
+//! Ingestion-throughput benchmark for the batch-parallel engine and the
+//! pipelined / shard-parallel construction paths.
 //!
-//! Builds the same index three ways over one synthetic ENA-like archive —
-//! term-at-a-time (the pre-batch hot path), batch single-thread, and batch
-//! multi-thread — asserts all three are **bit-identical**, and emits
-//! `BENCH_ingest.json` so the speedup is tracked across PRs.
+//! Builds the same index five ways over one synthetic ENA-like archive —
+//! term-at-a-time (the pre-batch hot path), batch single-thread, batch
+//! multi-thread, the bounded-queue ingestion pipeline, and the
+//! document-sharded parallel build — asserts all five are **bit-identical**,
+//! and emits `BENCH_ingest.json` (including the pipeline's queue-stall
+//! telemetry) so the speedups are tracked across PRs.
+//!
+//! The pipelined and sharded paths scale with real cores; on a single
+//! hardware thread their ratios are OS-scheduling noise around parity
+//! (0.8–1.8× run-to-run), so the CI regression gate does not gate them.
+//! The bit-identity asserts and the stall counters are exercised
+//! regardless.
 //!
 //! ```text
 //! cargo run --release -p rambo-bench --bin ingest_throughput -- \
-//!     --docs 60 --mean-terms 20000 --reps 4 --threads 4
+//!     --docs 60 --mean-terms 20000 --reps 4 --threads 4 --shards 4
 //! ```
 
 use rambo_bench::{archive_with_mean_terms, default_threads, Args, JsonReport};
-use rambo_core::{Rambo, RamboParams};
+use rambo_core::{IngestPipeline, PipelineObserver, Rambo, RamboParams};
 use rambo_workloads::timing::{human_duration, time};
+use rambo_workloads::QueueTelemetry;
+use std::sync::Arc;
 
 fn main() {
     let args = Args::parse();
     let docs = args.get_usize("docs", 60);
+    if docs == 0 {
+        eprintln!("ingest_throughput: --docs must be >= 1 (an empty archive has no throughput)");
+        std::process::exit(2);
+    }
     let mean_terms = args.get_usize("mean-terms", 20_000);
     let reps = args.get_usize("reps", 4);
     let threads = args.get_usize("threads", default_threads());
+    let shards = args.get_usize("shards", threads.max(2));
+    let queue_depth = args.get_usize("queue-depth", 4);
     let seed = args.get_u64("seed", 42);
 
     let archive = archive_with_mean_terms(docs, mean_terms, seed);
@@ -37,7 +54,7 @@ fn main() {
 
     eprintln!(
         "ingest: K={docs} mean_terms={mean_terms} total_terms={total_terms} B={b} R={reps} \
-         threads={threads}"
+         threads={threads} shards={shards} queue_depth={queue_depth}"
     );
 
     // 1. Term-at-a-time: the pre-batch ingestion path.
@@ -72,27 +89,59 @@ fn main() {
         r
     });
 
+    // 4. Bounded-queue pipeline: hash of document n+1 overlaps writes of n.
+    let telemetry = Arc::new(QueueTelemetry::new());
+    let (piped, t_piped) = time(|| {
+        IngestPipeline::new()
+            .queue_depth(queue_depth)
+            .observer(Arc::clone(&telemetry) as Arc<dyn PipelineObserver>)
+            .build(rambo_params, archive.docs.iter().cloned())
+            .expect("pipelined build")
+    });
+    let (piped, pipe_report) = piped;
+
+    // 5. Document-sharded parallel build, folded into one index.
+    let (sharded, t_sharded) = time(|| {
+        IngestPipeline::new()
+            .build_sharded(rambo_params, &archive.docs, shards)
+            .expect("sharded build")
+    });
+    let (sharded, _) = sharded;
+
     assert_eq!(naive, batch1, "batch(1) must be bit-identical to naive");
     assert_eq!(
         naive, batch_n,
         "batch({threads}) must be bit-identical to naive"
     );
+    assert_eq!(
+        naive, piped,
+        "pipelined build must be bit-identical to naive"
+    );
+    assert_eq!(
+        naive, sharded,
+        "sharded({shards}) build must be bit-identical to naive"
+    );
 
     let rate = |d: std::time::Duration| total_terms as f64 / d.as_secs_f64();
+    let row = |label: &str, d: std::time::Duration| {
+        eprintln!(
+            "{label:<12} {:>10}  ({:.2} Mterms/s)",
+            human_duration(d),
+            rate(d) / 1e6
+        );
+    };
+    row("naive", t_naive);
+    row("batch(1)", t_batch1);
+    row(&format!("batch({threads})"), t_batch_n);
+    row("pipelined", t_piped);
+    row(&format!("sharded({shards})"), t_sharded);
     eprintln!(
-        "naive     {:>10}  ({:.2} Mterms/s)",
-        human_duration(t_naive),
-        rate(t_naive) / 1e6
-    );
-    eprintln!(
-        "batch(1)  {:>10}  ({:.2} Mterms/s)",
-        human_duration(t_batch1),
-        rate(t_batch1) / 1e6
-    );
-    eprintln!(
-        "batch({threads})  {:>10}  ({:.2} Mterms/s)",
-        human_duration(t_batch_n),
-        rate(t_batch_n) / 1e6
+        "pipeline stalls: producer {} ({:.2}ms), writer {} ({:.2}ms), max queue depth {}",
+        pipe_report.producer_stalls,
+        pipe_report.producer_stall().as_secs_f64() * 1e3,
+        pipe_report.writer_stalls,
+        pipe_report.writer_stall().as_secs_f64() * 1e3,
+        pipe_report.max_queue_depth,
     );
 
     JsonReport::new("ingest_throughput")
@@ -101,14 +150,41 @@ fn main() {
         .int("buckets", b)
         .int("repetitions", reps as u64)
         .int("threads", threads as u64)
+        .int("shards", shards as u64)
+        .int("queue_depth", queue_depth as u64)
         .num("naive_s", t_naive.as_secs_f64())
         .num("batch_single_thread_s", t_batch1.as_secs_f64())
         .num("batch_multi_thread_s", t_batch_n.as_secs_f64())
+        .num("pipelined_s", t_piped.as_secs_f64())
+        .num("sharded_s", t_sharded.as_secs_f64())
         .num("naive_mterms_per_s", rate(t_naive) / 1e6)
         .num("batch_single_mterms_per_s", rate(t_batch1) / 1e6)
         .num("batch_multi_mterms_per_s", rate(t_batch_n) / 1e6)
+        .num("pipelined_mterms_per_s", rate(t_piped) / 1e6)
+        .num("sharded_mterms_per_s", rate(t_sharded) / 1e6)
         .ratio("speedup_batch_vs_naive", t_naive, t_batch1)
         .ratio("speedup_multi_vs_single", t_batch1, t_batch_n)
+        .ratio("speedup_pipelined_vs_single", t_batch1, t_piped)
+        .ratio("speedup_sharded_vs_single", t_batch1, t_sharded)
         .ratio("speedup_total", t_naive, t_batch_n)
+        .int("pipeline_producer_stalls", pipe_report.producer_stalls)
+        .int("pipeline_writer_stalls", pipe_report.writer_stalls)
+        .num(
+            "pipeline_producer_stall_ms",
+            pipe_report.producer_stall().as_secs_f64() * 1e3,
+        )
+        .num(
+            "pipeline_writer_stall_ms",
+            pipe_report.writer_stall().as_secs_f64() * 1e3,
+        )
+        .num(
+            "pipeline_producer_stall_p99_us",
+            telemetry.producer_stalls().quantile(0.99).as_secs_f64() * 1e6,
+        )
+        .num(
+            "pipeline_writer_stall_p99_us",
+            telemetry.writer_stalls().quantile(0.99).as_secs_f64() * 1e6,
+        )
+        .int("pipeline_max_queue_depth", pipe_report.max_queue_depth)
         .finish("BENCH_ingest.json");
 }

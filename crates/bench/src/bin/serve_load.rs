@@ -28,7 +28,7 @@
 //! ```
 
 use rambo_bench::{archive_with_mean_terms, us_per, window_queries, Args, JsonReport};
-use rambo_core::{QueryBatch, QueryMode, Rambo, RamboParams};
+use rambo_core::{IngestPipeline, QueryBatch, QueryMode, RamboParams};
 use rambo_server::{serve_tcp, Catalog, Server, ServerConfig, TcpClient};
 use rambo_workloads::stats::percentile;
 use rambo_workloads::timing::time;
@@ -284,13 +284,12 @@ fn main() {
         2,
         seed,
     );
-    let index = {
-        let mut r = Rambo::new(params).expect("valid params");
-        for (name, terms) in &archive.docs {
-            r.insert_document_batch(name, terms).expect("unique names");
-        }
-        r
-    };
+    // Catalog base index comes in through the bounded-queue ingestion
+    // pipeline (hash of document n+1 overlaps writes of document n) —
+    // bit-identical to the sequential batch build.
+    let (index, _) = IngestPipeline::new()
+        .build(params, archive.docs.iter().cloned())
+        .expect("pipelined build");
     let catalog = Catalog::build_halving(&index, levels).expect("catalog");
     let infos = catalog.infos();
 

@@ -43,7 +43,8 @@ const PARALLEL_MIN_WRITES: usize = 1 << 13;
 /// than it saves, so the engine sweeps terms directly — still one repetition
 /// at a time, which keeps a single table hot instead of cycling all `R`
 /// matrices through the cache per term like the term-at-a-time path does.
-const ROW_SORT_MIN_BYTES: usize = 24 << 20;
+/// Shared with [`crate::pipeline`]'s hash stage, which makes the same call.
+pub(crate) const ROW_SORT_MIN_BYTES: usize = 24 << 20;
 
 /// The machine's available parallelism, probed once (the syscall behind
 /// `available_parallelism` is not free, and ingestion calls this per
@@ -114,19 +115,8 @@ impl Rambo {
         if terms.is_empty() {
             return Ok(());
         }
-        // Dedupe once for all repetitions: Bloom insertion is idempotent, so
-        // duplicates would only re-hash and re-write the same bits. Inputs
-        // that are already strictly sorted (KmerSet output, the synthetic
-        // archives) skip the sort entirely.
-        let mut owned: Vec<u64>;
-        let unique: &[u64] = if terms.windows(2).all(|w| w[0] < w[1]) {
-            terms
-        } else {
-            owned = terms.to_vec();
-            owned.sort_unstable();
-            owned.dedup();
-            &owned
-        };
+        let mut owned: Vec<u64> = Vec::new();
+        let unique = dedupe_terms(terms, &mut owned);
 
         let eta = self.params().eta;
         let m = self.params().bfu_bits as u64;
@@ -170,6 +160,24 @@ impl Rambo {
         // Multiplicity accounting matches the term-at-a-time loop.
         self.inserts += terms.len() as u64;
         Ok(())
+    }
+}
+
+/// Dedupe a term batch once for all repetitions: Bloom insertion is
+/// idempotent, so duplicates would only re-hash and re-write the same bits.
+/// Inputs that are already strictly sorted (KmerSet output, the synthetic
+/// archives) skip the sort entirely; otherwise `scratch` receives the
+/// sorted-deduped copy and the returned slice borrows it. Shared by the
+/// in-place batch engine and the [`crate::pipeline`] hash stage.
+pub(crate) fn dedupe_terms<'a>(terms: &'a [u64], scratch: &'a mut Vec<u64>) -> &'a [u64] {
+    if terms.windows(2).all(|w| w[0] < w[1]) {
+        terms
+    } else {
+        scratch.clear();
+        scratch.extend_from_slice(terms);
+        scratch.sort_unstable();
+        scratch.dedup();
+        scratch
     }
 }
 

@@ -35,6 +35,12 @@
 //!   execution engine: deduplicated hash-once-per-repetition ingestion with
 //!   row-grouped writes fanned over scoped threads, and shared-scratch batch
 //!   querying with LRU-bounded per-term bucket-mask memoization.
+//! * [`IngestPipeline`] — pipelined, shard-parallel construction: a
+//!   bounded-queue pipeline overlapping parse+hash of document *n+1* with
+//!   the bucket writes of document *n* (hash/write split via
+//!   [`HashPlan`]/[`Rambo::apply_hashed`]), and document-sharded parallel
+//!   builds whose partial indexes fold into the final structure
+//!   bit-identically (§5.3's smart parallelism at document granularity).
 //! * [`Rambo::open_view`]/[`Rambo::open_view_at`] — zero-copy index loads:
 //!   the v2 serialization format 8-byte-aligns every matrix word payload, so
 //!   a serialized index (or several fold-over versions concatenated in one
@@ -82,6 +88,7 @@ mod index;
 mod matrix;
 mod params;
 mod partition;
+pub mod pipeline;
 mod query;
 mod serialize;
 pub mod sharded;
@@ -93,5 +100,6 @@ pub use error::RamboError;
 pub use index::{DocId, Rambo};
 pub use params::RamboParams;
 pub use partition::PartitionScheme;
+pub use pipeline::{HashPlan, HashedDoc, IngestPipeline, PipelineObserver, PipelineReport};
 pub use query::{QueryContext, QueryMode};
 pub use sharded::{build_sharded_parallel, ShardedRambo};

@@ -332,6 +332,22 @@ impl BfuMatrix {
         }
     }
 
+    /// OR another same-geometry matrix into this one — the merge step of a
+    /// document-sharded build ([`crate::pipeline`]): partial indexes built
+    /// with the same seed set disjoint documents' bits into the same
+    /// `m × B` grid, so their union is exactly the monolithic matrix.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch.
+    pub(crate) fn merge_or(&mut self, src: &Self) {
+        assert_eq!(self.m_bits, src.m_bits, "row counts must match");
+        assert_eq!(self.buckets, src.buckets, "column counts must match");
+        let src_words = src.words.as_words();
+        for (d, &s) in self.words.to_mut().iter_mut().zip(src_words) {
+            *d |= s;
+        }
+    }
+
     /// Total set bits (diagnostics).
     #[allow(dead_code)] // diagnostic helper; exercised by tests
     pub(crate) fn count_ones(&self) -> usize {

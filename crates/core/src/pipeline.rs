@@ -1,0 +1,913 @@
+//! Pipelined, shard-parallel ingestion (the paper's §5.3 construction story
+//! at full depth).
+//!
+//! The batch engine ([`Rambo::insert_document_batch`]) amortizes hashing
+//! *within* one document but is strictly synchronous across documents: the
+//! caller parses document *n+1* only after every bit of document *n* has been
+//! written. The paper's headline — 170TB indexed in 14 hours — rests on the
+//! observation that construction is embarrassingly parallel at *every* level,
+//! so this module decomposes ingestion into its two independent halves and
+//! recomposes them two ways:
+//!
+//! * **Hash/write split.** [`HashPlan::hash_document`] turns a raw term set
+//!   into a [`HashedDoc`] — per-repetition blocks of matrix rows, sorted
+//!   when the table is big enough for the batch engine's row-sorted sweep
+//!   to pay (same threshold, same policy) — using nothing but the index's
+//!   Bloom seeds, so it can run on any thread without touching the index.
+//!   [`Rambo::apply_hashed`] replays such a block through
+//!   [`crate::matrix`]'s row sweep.
+//!   The split is lossless: bit-setting is idempotent and commutative, so
+//!   hash-then-apply is **bit-identical** to the in-place batch path (pinned
+//!   by the property suite via full `PartialEq`).
+//!
+//! * **Pipeline** ([`IngestPipeline::ingest`]). A bounded-queue two-stage
+//!   pipeline: the *calling thread* parses and hashes document *n+1* while a
+//!   dedicated writer thread applies document *n*'s bucket writes. With
+//!   `hash_workers > 1` the hash stage widens into a pool pulling documents
+//!   from a shared queue (idle workers steal whatever arrives next), and the
+//!   writer re-sequences completions so document ids still match arrival
+//!   order. Stall time on either side of the queue is counted — a saturated
+//!   queue means the writer is the bottleneck, an empty one means parsing
+//!   is — and surfaced through [`PipelineReport`] plus an optional
+//!   [`PipelineObserver`] (e.g. `rambo_workloads`' latency histograms).
+//!
+//! * **Shard-parallel builds** ([`IngestPipeline::build_sharded`]). The
+//!   document set is dealt round-robin across `S` workers, each building a
+//!   private partial index with the *same seed*; partials are then folded
+//!   into the final [`Rambo`] by OR-ing their matrices — the same argument
+//!   that makes [`crate::sharded`]'s `stack()` exact: with shared hashes the
+//!   final bits are a union over documents, independent of which worker set
+//!   them or in what order. The merge re-registers names in original input
+//!   order, so document ids, bucket lists and insert accounting are also
+//!   **bit-identical** to a sequential build.
+//!
+//! Both paths compose with everything downstream (fold-over, serialization,
+//! the serving catalog) because they produce literally the same structure.
+
+use crate::batch::dedupe_terms;
+use crate::error::RamboError;
+use crate::index::{DocId, Rambo};
+use crate::params::RamboParams;
+use rambo_hash::HashPair;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fingerprint of a seed vector, carried by every [`HashedDoc`] so
+/// [`Rambo::apply_hashed`] can reject blocks hashed under a different seed
+/// (same geometry, different seeds would silently set wrong bits — a false
+/// negative, not an error, without this check).
+fn seed_tag(seeds: &[u64]) -> u64 {
+    seeds.iter().fold(0x9E37_79B9_7F4A_7C15, |acc, &s| {
+        acc.rotate_left(7) ^ s.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+    })
+}
+
+/// Everything needed to hash a document's terms into matrix-row blocks
+/// without touching the index: the per-repetition Bloom seeds and the filter
+/// geometry. Cheap to clone; obtained from [`Rambo::hash_plan`].
+#[derive(Debug, Clone)]
+pub struct HashPlan {
+    seed_tag: u64,
+    seeds: Vec<u64>,
+    eta: u32,
+    m: u64,
+    /// Sort each repetition's row block? Worth it only for tables past the
+    /// last-level cache (same policy as the batch engine's
+    /// [`crate::batch::ROW_SORT_MIN_BYTES`]): a sorted block turns the write
+    /// stage into a prefetchable sequential sweep, but on a cache-resident
+    /// matrix the sort costs more than it saves.
+    sort_rows: bool,
+}
+
+impl Rambo {
+    /// The hash plan of this index — hand it to producer/hash threads so
+    /// they can run [`HashPlan::hash_document`] while the index itself is
+    /// exclusively owned by the write stage.
+    #[must_use]
+    pub fn hash_plan(&self) -> HashPlan {
+        let table_bytes = self.params().bfu_bits * (self.buckets() as usize).div_ceil(64) * 8;
+        HashPlan {
+            seed_tag: seed_tag(&self.bloom_seeds),
+            seeds: self.bloom_seeds.clone(),
+            eta: self.params().eta,
+            m: self.params().bfu_bits as u64,
+            sort_rows: table_bytes >= crate::batch::ROW_SORT_MIN_BYTES,
+        }
+    }
+
+    /// Apply one hashed document: register the name and replay each
+    /// repetition's row block through the matrix row sweep. Produces
+    /// exactly the bits (and insert accounting) that
+    /// [`Rambo::insert_document_batch`] would for the same raw terms.
+    ///
+    /// # Errors
+    /// [`RamboError::DuplicateDocument`] when the name is already indexed;
+    /// [`RamboError::InvalidParams`] when the block came from a
+    /// [`HashPlan`] of a different geometry (filter size, `η`, repetition
+    /// count) or a different Bloom-seed family — a mismatched plan would
+    /// otherwise set wrong bits (or index out of bounds) and silently void
+    /// the zero-false-negative guarantee.
+    pub fn apply_hashed(&mut self, doc: &HashedDoc) -> Result<DocId, RamboError> {
+        if doc.m != self.params().bfu_bits as u64 || doc.eta != self.params().eta {
+            return Err(RamboError::InvalidParams(format!(
+                "hashed block was built for m={} η={}, index has m={} η={}",
+                doc.m,
+                doc.eta,
+                self.params().bfu_bits,
+                self.params().eta
+            )));
+        }
+        if doc.seed_tag != seed_tag(&self.bloom_seeds) {
+            return Err(RamboError::InvalidParams(
+                "hashed block was built with different Bloom seeds than this index".into(),
+            ));
+        }
+        // Empty documents hash to empty blocks in every repetition, so their
+        // block count is indistinguishable — and any count is correct.
+        if doc.per_rep != 0 && doc.rows.len() / doc.per_rep != self.repetitions() {
+            return Err(RamboError::InvalidParams(format!(
+                "hashed block has {} repetitions, index has {}",
+                doc.rows.len() / doc.per_rep,
+                self.repetitions()
+            )));
+        }
+        let id = self.add_document(&doc.name)?;
+        for (rep, table) in self.tables.iter_mut().enumerate() {
+            let bucket = table.assign[id as usize] as usize;
+            table.matrix.set_rows(bucket, doc.rep_rows(rep));
+        }
+        self.inserts += doc.term_count;
+        Ok(id)
+    }
+}
+
+impl HashPlan {
+    /// Hash a document's term set: dedupe once, then derive each unique
+    /// term's `η` filter positions per repetition — sorting each
+    /// repetition's block when the table is large enough that the write
+    /// stage's monotone sweep pays for it. This is the CPU-heavy half of
+    /// ingestion and needs no access to the index.
+    #[must_use]
+    pub fn hash_document(&self, name: &str, terms: &[u64]) -> HashedDoc {
+        let mut scratch = Vec::new();
+        let unique = dedupe_terms(terms, &mut scratch);
+        let per_rep = unique.len() * self.eta as usize;
+        let mut rows = Vec::with_capacity(per_rep * self.seeds.len());
+        for &seed in &self.seeds {
+            let start = rows.len();
+            for &t in unique {
+                let pair = HashPair::of_u64(t, seed);
+                for i in 0..self.eta {
+                    rows.push(pair.index(i, self.m) as usize);
+                }
+            }
+            if self.sort_rows {
+                rows[start..].sort_unstable();
+            }
+        }
+        HashedDoc {
+            name: name.to_string(),
+            term_count: terms.len() as u64,
+            per_rep,
+            rows,
+            m: self.m,
+            eta: self.eta,
+            seed_tag: self.seed_tag,
+        }
+    }
+}
+
+/// One document, fully hashed: `R` consecutive blocks of sorted matrix rows
+/// (one per repetition), ready for [`Rambo::apply_hashed`]. This is the unit
+/// that flows through the pipeline queue.
+#[derive(Debug, Clone)]
+pub struct HashedDoc {
+    name: String,
+    /// Raw term count *with multiplicity* (drives `total_inserts`, exactly
+    /// like the batch engine's accounting).
+    term_count: u64,
+    /// Rows per repetition block (`unique_terms × η`).
+    per_rep: usize,
+    /// `R · per_rep` rows, repetition-major (blocks sorted ascending when
+    /// the plan's table size warrants the monotone sweep).
+    rows: Vec<usize>,
+    /// Filter geometry and seed fingerprint the rows were derived for —
+    /// checked by [`Rambo::apply_hashed`] so a plan from one index cannot
+    /// corrupt another.
+    m: u64,
+    eta: u32,
+    seed_tag: u64,
+}
+
+impl HashedDoc {
+    /// Document name carried through the pipeline.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rep_rows(&self, rep: usize) -> &[usize] {
+        if self.per_rep == 0 {
+            &[]
+        } else {
+            &self.rows[rep * self.per_rep..(rep + 1) * self.per_rep]
+        }
+    }
+}
+
+/// Observer hooks for pipeline telemetry. All methods default to no-ops;
+/// implementations must be cheap — they run on the hot path. See
+/// `rambo_workloads`' `QueueTelemetry` for a histogram-backed implementation.
+pub trait PipelineObserver: Send + Sync {
+    /// The producer blocked this long on a full queue (writer is the
+    /// bottleneck).
+    fn producer_stall(&self, waited: Duration) {
+        let _ = waited;
+    }
+    /// The writer blocked this long on an empty queue (parse/hash is the
+    /// bottleneck).
+    fn writer_stall(&self, waited: Duration) {
+        let _ = waited;
+    }
+    /// Queue depth observed right after a document was enqueued.
+    fn queue_depth(&self, depth: usize) {
+        let _ = depth;
+    }
+}
+
+/// What one pipeline run did, including where it stalled. Counters are
+/// exact; durations are wall-clock sums over blocking waits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Documents ingested.
+    pub docs: u64,
+    /// Terms ingested (with multiplicity).
+    pub terms: u64,
+    /// Times the producer found the queue full and had to block.
+    pub producer_stalls: u64,
+    /// Total nanoseconds the producer spent blocked on a full queue.
+    pub producer_stall_ns: u64,
+    /// Times the writer found the queue empty and had to block.
+    pub writer_stalls: u64,
+    /// Total nanoseconds the writer spent blocked on an empty queue.
+    pub writer_stall_ns: u64,
+    /// High-water mark of documents in flight between producer and writer.
+    /// Can exceed the configured queue depth: a document blocked in `send`
+    /// counts, and in pooled mode so do documents being hashed or waiting
+    /// in the resequencing buffer (the bound is then roughly
+    /// `2·queue_depth + hash_workers`).
+    pub max_queue_depth: u64,
+    /// Worker shards used (1 for the plain pipeline).
+    pub shards: u64,
+}
+
+/// Shared atomic counters behind a [`PipelineReport`].
+#[derive(Default)]
+struct Counters {
+    docs: AtomicU64,
+    terms: AtomicU64,
+    producer_stalls: AtomicU64,
+    producer_stall_ns: AtomicU64,
+    writer_stalls: AtomicU64,
+    writer_stall_ns: AtomicU64,
+    depth: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl Counters {
+    fn report(&self, shards: u64) -> PipelineReport {
+        PipelineReport {
+            docs: self.docs.load(Ordering::Relaxed),
+            terms: self.terms.load(Ordering::Relaxed),
+            producer_stalls: self.producer_stalls.load(Ordering::Relaxed),
+            producer_stall_ns: self.producer_stall_ns.load(Ordering::Relaxed),
+            writer_stalls: self.writer_stalls.load(Ordering::Relaxed),
+            writer_stall_ns: self.writer_stall_ns.load(Ordering::Relaxed),
+            max_queue_depth: self.max_depth.load(Ordering::Relaxed),
+            shards,
+        }
+    }
+
+    /// Depth++ (before enqueue); returns the new depth for observers.
+    fn enqueued(&self) -> u64 {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_depth.fetch_max(d, Ordering::Relaxed);
+        d
+    }
+
+    fn dequeued(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Configuration for pipelined / sharded ingestion. The defaults (queue
+/// depth 4, one hash worker) give the strict two-stage parse+hash ∥ write
+/// overlap; widen `hash_workers` when hashing, not writing, dominates.
+#[derive(Clone)]
+pub struct IngestPipeline {
+    queue_depth: usize,
+    hash_workers: usize,
+    observer: Option<Arc<dyn PipelineObserver>>,
+}
+
+impl Default for IngestPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for IngestPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestPipeline")
+            .field("queue_depth", &self.queue_depth)
+            .field("hash_workers", &self.hash_workers)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl IngestPipeline {
+    /// Defaults: bounded queue of 4 hashed documents, single hash worker
+    /// (the calling thread), no observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue_depth: 4,
+            hash_workers: 1,
+            observer: None,
+        }
+    }
+
+    /// Bound on hashed-but-unwritten documents in flight (clamped to ≥ 1).
+    /// Deeper queues absorb burstier stage-time variance at the cost of
+    /// memory (roughly `depth × unique_terms × η × R × 8` bytes).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Number of hash-stage workers. `1` keeps hashing on the calling
+    /// thread (two-stage pipeline); `n > 1` spawns a pool pulling documents
+    /// from a shared queue, with the writer re-sequencing completions so
+    /// document ids still follow arrival order.
+    #[must_use]
+    pub fn hash_workers(mut self, workers: usize) -> Self {
+        self.hash_workers = workers.max(1);
+        self
+    }
+
+    /// Attach a telemetry observer (stall durations, queue depths).
+    #[must_use]
+    pub fn observer(mut self, obs: Arc<dyn PipelineObserver>) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    fn observe_producer_stall(&self, counters: &Counters, waited: Duration) {
+        counters.producer_stalls.fetch_add(1, Ordering::Relaxed);
+        counters
+            .producer_stall_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(obs) = &self.observer {
+            obs.producer_stall(waited);
+        }
+    }
+
+    fn observe_writer_stall(&self, counters: &Counters, waited: Duration) {
+        counters.writer_stalls.fetch_add(1, Ordering::Relaxed);
+        counters
+            .writer_stall_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(obs) = &self.observer {
+            obs.writer_stall(waited);
+        }
+    }
+
+    /// Pipeline a document stream into an existing index. Bit-identical to
+    /// calling [`Rambo::insert_document_batch`] per document in stream
+    /// order, but the parse+hash of document *n+1* overlaps the bucket
+    /// writes of document *n*.
+    ///
+    /// # Errors
+    /// Propagates the writer's first index error (duplicate names, …);
+    /// documents applied before the failure remain in the index, documents
+    /// still in flight are dropped.
+    ///
+    /// # Panics
+    /// Panics if a pipeline thread panics.
+    pub fn ingest(
+        &self,
+        index: &mut Rambo,
+        docs: impl IntoIterator<Item = (String, Vec<u64>)>,
+    ) -> Result<PipelineReport, RamboError> {
+        let plan = index.hash_plan();
+        let counters = Counters::default();
+        if self.hash_workers == 1 {
+            self.run_two_stage(index, &plan, &counters, docs)?;
+        } else {
+            self.run_pooled(index, &plan, &counters, docs)?;
+        }
+        Ok(counters.report(1))
+    }
+
+    /// Build a fresh index by pipelining a document stream.
+    ///
+    /// # Errors
+    /// Invalid params, or any [`IngestPipeline::ingest`] failure.
+    pub fn build(
+        &self,
+        params: RamboParams,
+        docs: impl IntoIterator<Item = (String, Vec<u64>)>,
+    ) -> Result<(Rambo, PipelineReport), RamboError> {
+        let mut index = Rambo::new(params)?;
+        let report = self.ingest(&mut index, docs)?;
+        Ok((index, report))
+    }
+
+    /// Two-stage pipeline: caller thread parses + hashes, a scoped writer
+    /// thread applies.
+    fn run_two_stage(
+        &self,
+        index: &mut Rambo,
+        plan: &HashPlan,
+        counters: &Counters,
+        docs: impl IntoIterator<Item = (String, Vec<u64>)>,
+    ) -> Result<(), RamboError> {
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<HashedDoc>(self.queue_depth);
+            let writer = scope.spawn(move || -> Result<(), RamboError> {
+                loop {
+                    let doc = match self.next_hashed(&rx, counters) {
+                        Some(d) => d,
+                        None => return Ok(()),
+                    };
+                    counters.dequeued();
+                    index.apply_hashed(&doc)?;
+                }
+            });
+            for (name, terms) in docs {
+                let hashed = plan.hash_document(&name, &terms);
+                counters.docs.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .terms
+                    .fetch_add(terms.len() as u64, Ordering::Relaxed);
+                if !self.enqueue(&tx, hashed, counters) {
+                    break; // writer hung up: it hit an error
+                }
+            }
+            drop(tx); // close the queue; the writer drains and returns
+            writer.join().expect("pipeline writer panicked")
+        })
+    }
+
+    /// Blocking-with-accounting receive: `try_recv` first so an already-full
+    /// queue costs nothing, then a timed blocking `recv` counted as a writer
+    /// stall. `None` means the channel closed (end of stream).
+    fn next_hashed<T>(&self, rx: &Receiver<T>, counters: &Counters) -> Option<T> {
+        match rx.try_recv() {
+            Ok(d) => Some(d),
+            Err(TryRecvError::Disconnected) => None,
+            Err(TryRecvError::Empty) => {
+                let t0 = Instant::now();
+                let got = rx.recv();
+                self.observe_writer_stall(counters, t0.elapsed());
+                got.ok()
+            }
+        }
+    }
+
+    /// Non-blocking-first send with stall accounting. Returns `false` when
+    /// the consumer hung up (error downstream).
+    fn enqueue<T>(&self, tx: &SyncSender<T>, item: T, counters: &Counters) -> bool {
+        let depth = counters.enqueued();
+        if let Some(obs) = &self.observer {
+            obs.queue_depth(depth as usize);
+        }
+        match tx.try_send(item) {
+            Ok(()) => true,
+            Err(TrySendError::Disconnected(_)) => {
+                counters.dequeued();
+                false
+            }
+            Err(TrySendError::Full(item)) => {
+                let t0 = Instant::now();
+                let sent = tx.send(item).is_ok();
+                self.observe_producer_stall(counters, t0.elapsed());
+                if !sent {
+                    counters.dequeued();
+                }
+                sent
+            }
+        }
+    }
+
+    /// Three-stage pipeline: caller thread parses, `hash_workers` pull raw
+    /// documents from a shared queue and hash them, the writer re-sequences
+    /// and applies in arrival order.
+    fn run_pooled(
+        &self,
+        index: &mut Rambo,
+        plan: &HashPlan,
+        counters: &Counters,
+        docs: impl IntoIterator<Item = (String, Vec<u64>)>,
+    ) -> Result<(), RamboError> {
+        type Raw = (u64, String, Vec<u64>);
+        std::thread::scope(|scope| {
+            let (raw_tx, raw_rx) = std::sync::mpsc::sync_channel::<Raw>(self.queue_depth);
+            // `Receiver` is single-consumer; the pool shares it behind a
+            // mutex — an idle worker grabs whatever document arrives next,
+            // which is exactly the work-stealing discipline we want (no
+            // per-worker queues to go idle behind a straggler).
+            let raw_rx = Arc::new(Mutex::new(raw_rx));
+            let (done_tx, done_rx) =
+                std::sync::mpsc::sync_channel::<(u64, HashedDoc)>(self.queue_depth);
+            for _ in 0..self.hash_workers {
+                let raw_rx = Arc::clone(&raw_rx);
+                let done_tx = done_tx.clone();
+                let plan = plan.clone();
+                scope.spawn(move || {
+                    loop {
+                        // Hold the lock only for the dequeue, not the hash.
+                        let msg = raw_rx.lock().expect("hash queue poisoned").recv();
+                        let Ok((seq, name, terms)) = msg else { return };
+                        let hashed = plan.hash_document(&name, &terms);
+                        if done_tx.send((seq, hashed)).is_err() {
+                            return; // writer hung up on error
+                        }
+                    }
+                });
+            }
+            drop(done_tx); // writers' clones keep the channel alive
+            let writer = scope.spawn(move || -> Result<(), RamboError> {
+                // Completions arrive hash-pool-ordered; re-sequence so the
+                // registry issues ids in arrival order (bit-identity with
+                // the sequential build). The buffer is bounded by the two
+                // queue depths plus the pool width.
+                let mut pending: BTreeMap<u64, HashedDoc> = BTreeMap::new();
+                let mut next_seq = 0u64;
+                loop {
+                    let Some((seq, doc)) = self.next_hashed(&done_rx, counters) else {
+                        debug_assert!(pending.is_empty(), "stream ended with holes");
+                        return Ok(());
+                    };
+                    pending.insert(seq, doc);
+                    while let Some(doc) = pending.remove(&next_seq) {
+                        counters.dequeued();
+                        index.apply_hashed(&doc)?;
+                        next_seq += 1;
+                    }
+                }
+            });
+            for (seq, (name, terms)) in (0u64..).zip(docs) {
+                counters.docs.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .terms
+                    .fetch_add(terms.len() as u64, Ordering::Relaxed);
+                if !self.enqueue(&raw_tx, (seq, name, terms), counters) {
+                    break;
+                }
+            }
+            drop(raw_tx);
+            writer.join().expect("pipeline writer panicked")
+        })
+    }
+
+    /// Shard-parallel build: deal `docs` round-robin across `shards`
+    /// workers, each building a private partial index with the same seed
+    /// through the hash/write split, then fold the partials into one final
+    /// index — **bit-identical** to a sequential
+    /// [`Rambo::insert_document_batch`] build over `docs` in order (the
+    /// document-level counterpart of [`crate::sharded`]'s node-level
+    /// `stack()`).
+    ///
+    /// With `shards > 1` each worker interleaves hash and apply directly —
+    /// there is no queue, so `queue_depth`, `hash_workers` and the observer
+    /// do not apply and the returned report carries only document/term/
+    /// shard counts (stall counters are structurally zero). `shards == 1`
+    /// degenerates to [`IngestPipeline::build`], which honors all of them.
+    /// (Per-shard inner pipelines are a ROADMAP follow-on.)
+    ///
+    /// # Errors
+    /// Invalid params, duplicate document names, or any worker failure.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panics.
+    pub fn build_sharded(
+        &self,
+        params: RamboParams,
+        docs: &[(String, Vec<u64>)],
+        shards: usize,
+    ) -> Result<(Rambo, PipelineReport), RamboError> {
+        let shards = shards.max(1);
+        if shards == 1 {
+            let (index, mut report) = self.build(params, docs.iter().cloned())?;
+            report.shards = 1;
+            return Ok((index, report));
+        }
+        // Phase 1: private partial builds, one worker per shard. Workers
+        // never touch shared state — same-seed hashes make the final bits a
+        // union over documents regardless of who wrote them.
+        let partials: Vec<Rambo> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    scope.spawn(move || -> Result<Rambo, RamboError> {
+                        let mut part = Rambo::new(params)?;
+                        let plan = part.hash_plan();
+                        for (name, terms) in docs.iter().skip(s).step_by(shards) {
+                            let hashed = plan.hash_document(name, terms);
+                            part.apply_hashed(&hashed)?;
+                        }
+                        Ok(part)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+        // Phase 2: fold the partials into the final index. Names are
+        // re-registered in original input order (rebuilding the id-ordered
+        // registry, assignments and bucket lists exactly as a sequential
+        // build would), then each repetition's matrices are OR-merged.
+        let mut out = Rambo::new(params)?;
+        for (name, _) in docs {
+            out.add_document(name)?;
+        }
+        for part in &partials {
+            for (dst, src) in out.tables.iter_mut().zip(&part.tables) {
+                dst.matrix.merge_or(&src.matrix);
+            }
+            out.inserts += part.inserts;
+        }
+        let mut report = PipelineReport {
+            shards: shards as u64,
+            ..PipelineReport::default()
+        };
+        report.docs = docs.len() as u64;
+        report.terms = docs.iter().map(|(_, t)| t.len() as u64).sum();
+        Ok((out, report))
+    }
+}
+
+impl PipelineReport {
+    /// Producer stall time as a `Duration`.
+    #[must_use]
+    pub fn producer_stall(&self) -> Duration {
+        Duration::from_nanos(self.producer_stall_ns)
+    }
+
+    /// Writer stall time as a `Duration`.
+    #[must_use]
+    pub fn writer_stall(&self) -> Duration {
+        Duration::from_nanos(self.writer_stall_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryMode;
+    use std::sync::atomic::AtomicUsize;
+
+    fn params(seed: u64) -> RamboParams {
+        RamboParams::flat(8, 3, 1 << 12, 2, seed)
+    }
+
+    fn archive(k: usize, terms_per_doc: usize) -> Vec<(String, Vec<u64>)> {
+        (0..k)
+            .map(|d| {
+                let base = (d as u64) << 32;
+                let mut ts: Vec<u64> = (0..terms_per_doc as u64).map(|t| base | t).collect();
+                ts.push(0xFFFF); // shared term
+                ts.push(base); // duplicate
+                (format!("doc-{d}"), ts)
+            })
+            .collect()
+    }
+
+    fn sequential(p: RamboParams, docs: &[(String, Vec<u64>)]) -> Rambo {
+        let mut r = Rambo::new(p).unwrap();
+        for (name, terms) in docs {
+            r.insert_document_batch_with(name, terms, 1).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn hash_apply_split_is_bit_identical() {
+        let docs = archive(20, 50);
+        let reference = sequential(params(3), &docs);
+        let mut split = Rambo::new(params(3)).unwrap();
+        let plan = split.hash_plan();
+        for (name, terms) in &docs {
+            let hashed = plan.hash_document(name, terms);
+            split.apply_hashed(&hashed).unwrap();
+        }
+        assert_eq!(reference, split);
+        assert_eq!(reference.total_inserts(), split.total_inserts());
+    }
+
+    #[test]
+    fn pipelined_build_is_bit_identical() {
+        let docs = archive(25, 40);
+        let reference = sequential(params(7), &docs);
+        for depth in [1, 4] {
+            let (piped, report) = IngestPipeline::new()
+                .queue_depth(depth)
+                .build(params(7), docs.iter().cloned())
+                .unwrap();
+            assert_eq!(reference, piped, "queue depth {depth}");
+            assert_eq!(report.docs, 25);
+            assert_eq!(
+                report.terms,
+                docs.iter().map(|(_, t)| t.len() as u64).sum::<u64>()
+            );
+            assert!(report.max_queue_depth >= 1);
+        }
+    }
+
+    #[test]
+    fn pooled_hash_workers_preserve_arrival_order() {
+        let docs = archive(40, 30);
+        let reference = sequential(params(11), &docs);
+        for workers in [2, 4] {
+            let (piped, report) = IngestPipeline::new()
+                .hash_workers(workers)
+                .build(params(11), docs.iter().cloned())
+                .unwrap();
+            assert_eq!(reference, piped, "workers = {workers}");
+            assert_eq!(report.docs, 40);
+        }
+    }
+
+    #[test]
+    fn sharded_build_folds_to_bit_identical() {
+        let docs = archive(30, 35);
+        let reference = sequential(params(13), &docs);
+        for shards in [1, 2, 3, 7] {
+            let (built, report) = IngestPipeline::new()
+                .build_sharded(params(13), &docs, shards)
+                .unwrap();
+            assert_eq!(reference, built, "shards = {shards}");
+            assert_eq!(report.shards, shards as u64);
+            assert_eq!(report.docs, 30);
+        }
+    }
+
+    #[test]
+    fn pipeline_into_existing_index_continues_ids() {
+        let docs = archive(10, 20);
+        let mut idx = Rambo::new(params(5)).unwrap();
+        idx.insert_document_batch("pre-existing", &[1, 2, 3])
+            .unwrap();
+        let report = IngestPipeline::new()
+            .ingest(&mut idx, docs.iter().cloned())
+            .unwrap();
+        assert_eq!(report.docs, 10);
+        assert_eq!(idx.num_documents(), 11);
+        assert_eq!(idx.document_id("doc-3"), Some(4));
+        // Ingested documents answer queries.
+        let hits = idx.query_terms_u64(&[0xFFFF], QueryMode::Full);
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_name_error_propagates_and_prior_docs_survive() {
+        let docs = vec![
+            ("a".to_string(), vec![1u64, 2]),
+            ("b".to_string(), vec![3u64]),
+            ("a".to_string(), vec![4u64]), // duplicate
+            ("c".to_string(), vec![5u64]),
+        ];
+        let mut idx = Rambo::new(params(9)).unwrap();
+        let err = IngestPipeline::new().ingest(&mut idx, docs.clone());
+        assert!(matches!(err, Err(RamboError::DuplicateDocument(_))));
+        // a and b landed before the failure.
+        assert!(idx.num_documents() >= 2);
+        assert_eq!(idx.document_id("a"), Some(0));
+        assert_eq!(idx.document_id("b"), Some(1));
+
+        let err = IngestPipeline::new()
+            .hash_workers(2)
+            .ingest(&mut Rambo::new(params(9)).unwrap(), docs.clone());
+        assert!(matches!(err, Err(RamboError::DuplicateDocument(_))));
+
+        let err = IngestPipeline::new().build_sharded(params(9), &docs, 2);
+        assert!(matches!(err, Err(RamboError::DuplicateDocument(_))));
+    }
+
+    #[test]
+    fn apply_hashed_rejects_mismatched_geometry() {
+        // Repetition-count mismatch.
+        let other = Rambo::new(RamboParams::flat(8, 2, 1 << 12, 2, 1)).unwrap();
+        let hashed = other.hash_plan().hash_document("x", &[1, 2, 3]);
+        let mut idx = Rambo::new(params(1)).unwrap(); // R = 3
+        assert!(matches!(
+            idx.apply_hashed(&hashed),
+            Err(RamboError::InvalidParams(_))
+        ));
+        // Same R, bigger filter: rows would index out of bounds (or, with a
+        // smaller filter, silently set wrong bits) — must error instead.
+        let big_m = Rambo::new(RamboParams::flat(8, 3, 1 << 20, 2, 1)).unwrap();
+        let hashed = big_m.hash_plan().hash_document("x", &[1, 2, 3]);
+        assert!(matches!(
+            idx.apply_hashed(&hashed),
+            Err(RamboError::InvalidParams(_))
+        ));
+        // Same R and m, different η: per-term row count diverges — error.
+        let other_eta = Rambo::new(RamboParams::flat(8, 3, 1 << 12, 4, 1)).unwrap();
+        let hashed = other_eta.hash_plan().hash_document("x", &[1, 2, 3]);
+        assert!(matches!(
+            idx.apply_hashed(&hashed),
+            Err(RamboError::InvalidParams(_))
+        ));
+        // Identical geometry, different master seed: the rows are valid
+        // positions but for the *wrong* hash family — accepting them would
+        // be a silent false negative, so this must error too.
+        let other_seed = Rambo::new(params(999)).unwrap();
+        let hashed = other_seed.hash_plan().hash_document("x", &[1, 2, 3]);
+        assert!(matches!(
+            idx.apply_hashed(&hashed),
+            Err(RamboError::InvalidParams(_))
+        ));
+        assert_eq!(idx.num_documents(), 0, "no half-registered documents");
+    }
+
+    #[test]
+    fn empty_documents_and_streams_are_fine() {
+        let mut idx = Rambo::new(params(2)).unwrap();
+        let report = IngestPipeline::new()
+            .ingest(&mut idx, std::iter::empty())
+            .unwrap();
+        assert_eq!(report.docs, 0);
+        let report = IngestPipeline::new()
+            .ingest(&mut idx, [("empty".to_string(), Vec::new())])
+            .unwrap();
+        assert_eq!(report.docs, 1);
+        assert_eq!(idx.num_documents(), 1);
+        assert_eq!(idx.total_inserts(), 0);
+    }
+
+    #[test]
+    fn observer_sees_stalls_and_depths() {
+        struct Spy {
+            producer: AtomicUsize,
+            writer: AtomicUsize,
+            depths: AtomicUsize,
+        }
+        impl PipelineObserver for Spy {
+            fn producer_stall(&self, _: Duration) {
+                self.producer.fetch_add(1, Ordering::Relaxed);
+            }
+            fn writer_stall(&self, _: Duration) {
+                self.writer.fetch_add(1, Ordering::Relaxed);
+            }
+            fn queue_depth(&self, _: usize) {
+                self.depths.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let spy = Arc::new(Spy {
+            producer: AtomicUsize::new(0),
+            writer: AtomicUsize::new(0),
+            depths: AtomicUsize::new(0),
+        });
+        let docs = archive(30, 40);
+        let (_, report) = IngestPipeline::new()
+            .queue_depth(1)
+            .observer(Arc::clone(&spy) as Arc<dyn PipelineObserver>)
+            .build(params(4), docs.iter().cloned())
+            .unwrap();
+        // Every enqueue samples the depth.
+        assert_eq!(spy.depths.load(Ordering::Relaxed) as u64, report.docs);
+        // Observer counts match the report's counters exactly.
+        assert_eq!(
+            spy.producer.load(Ordering::Relaxed) as u64,
+            report.producer_stalls
+        );
+        assert_eq!(
+            spy.writer.load(Ordering::Relaxed) as u64,
+            report.writer_stalls
+        );
+    }
+
+    #[test]
+    fn sharded_then_fold_then_serialize_roundtrips() {
+        // The sharded build composes with fold-over and serialization
+        // because it produces literally the same structure.
+        let docs = archive(24, 30);
+        let (mut built, _) = IngestPipeline::new()
+            .build_sharded(params(21), &docs, 3)
+            .unwrap();
+        let mut reference = sequential(params(21), &docs);
+        built.fold_once().unwrap();
+        reference.fold_once().unwrap();
+        assert_eq!(built, reference);
+        let back = Rambo::from_bytes(&built.to_bytes().unwrap()).unwrap();
+        assert_eq!(built, back);
+    }
+}

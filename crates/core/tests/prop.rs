@@ -6,7 +6,9 @@
 //! losslessness of sharded construction.
 
 use proptest::prelude::*;
-use rambo_core::{build_sharded_parallel, QueryBatch, QueryContext, QueryMode, Rambo, RamboParams};
+use rambo_core::{
+    build_sharded_parallel, IngestPipeline, QueryBatch, QueryContext, QueryMode, Rambo, RamboParams,
+};
 use std::sync::Arc;
 
 /// A random archive: documents with disjoint private terms plus a shared
@@ -367,6 +369,53 @@ proptest! {
                 prop_assert!(stacked.query_u64(t).contains(&id));
             }
         }
+    }
+
+    /// Pipelined ingestion ([`IngestPipeline::ingest`]) is **bit-identical**
+    /// to the sequential batch build — full structural equality — for any
+    /// geometry, any archive, any queue depth and any hash-pool width
+    /// (including the re-sequencing writer path).
+    #[test]
+    fn pipelined_build_bit_identical_to_sequential(
+        archive in archive_strategy(16),
+        b in 2u64..16,
+        r in 1usize..5,
+        seed in any::<u64>(),
+        depth in 1usize..6,
+        workers in 1usize..4,
+    ) {
+        let params = RamboParams::flat(b, r, 1 << 11, 2, seed);
+        let reference = build(params, &archive);
+        let (piped, report) = IngestPipeline::new()
+            .queue_depth(depth)
+            .hash_workers(workers)
+            .build(params, archive.docs.iter().cloned())
+            .unwrap();
+        prop_assert_eq!(&reference, &piped, "depth = {}, workers = {}", depth, workers);
+        prop_assert_eq!(reference.total_inserts(), piped.total_inserts());
+        prop_assert_eq!(report.docs as usize, archive.docs.len());
+    }
+
+    /// Document-sharded builds ([`IngestPipeline::build_sharded`]) fold
+    /// their partial indexes into a structure **bit-identical** to the
+    /// monolithic sequential build, for fuzzed shard counts — including
+    /// more shards than documents.
+    #[test]
+    fn sharded_build_then_fold_bit_identical_to_monolithic(
+        archive in archive_strategy(16),
+        b in 2u64..16,
+        r in 1usize..5,
+        seed in any::<u64>(),
+        shards in 1usize..9,
+    ) {
+        let params = RamboParams::flat(b, r, 1 << 11, 2, seed);
+        let reference = build(params, &archive);
+        let (built, report) = IngestPipeline::new()
+            .build_sharded(params, &archive.docs, shards)
+            .unwrap();
+        prop_assert_eq!(&reference, &built, "shards = {}", shards);
+        prop_assert_eq!(reference.total_inserts(), built.total_inserts());
+        prop_assert_eq!(report.shards as usize, shards);
     }
 
     /// Multi-term queries (Algorithm 2 semantics) always contain every

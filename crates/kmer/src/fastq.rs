@@ -35,17 +35,30 @@ impl<R: BufRead> FastqReader<R> {
         }
     }
 
-    fn read_trimmed(&mut self) -> io::Result<Option<String>> {
+    /// Next non-blank line — used only to find a record's header, so blank
+    /// separator lines *between* records are tolerated.
+    fn read_nonblank(&mut self) -> io::Result<Option<String>> {
         loop {
-            self.line.clear();
-            if self.input.read_line(&mut self.line)? == 0 {
-                return Ok(None);
-            }
-            let t = self.line.trim_end();
-            if !t.is_empty() {
-                return Ok(Some(t.to_string()));
+            match self.read_raw()? {
+                None => return Ok(None),
+                Some(t) if t.is_empty() => continue,
+                Some(t) => return Ok(Some(t)),
             }
         }
+    }
+
+    /// Next line with trailing whitespace (EOL plus stray spaces/tabs, as
+    /// some converters emit) stripped — possibly down to empty. Records are
+    /// strictly four lines, so inside a record an empty line is *content*
+    /// (an empty sequence or quality string), not a separator. Quality
+    /// strings cannot legitimately end in whitespace (phred+33 is
+    /// `'!'..='~'`), so the trim never eats record data.
+    fn read_raw(&mut self) -> io::Result<Option<String>> {
+        self.line.clear();
+        if self.input.read_line(&mut self.line)? == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.line.trim_end().to_string()))
     }
 }
 
@@ -60,7 +73,7 @@ impl<R: BufRead> Iterator for FastqReader<R> {
         if self.done {
             return None;
         }
-        let header = match self.read_trimmed() {
+        let header = match self.read_nonblank() {
             Ok(None) => return None,
             Ok(Some(h)) => h,
             Err(e) => return Some(Err(e)),
@@ -71,17 +84,17 @@ impl<R: BufRead> Iterator for FastqReader<R> {
                 .ok_or_else(|| invalid("FASTQ header must start with '@'"))?
                 .to_string();
             let seq = self
-                .read_trimmed()?
-                .ok_or_else(|| invalid("unexpected EOF before sequence line"))?;
+                .read_raw()?
+                .ok_or_else(|| invalid("truncated FASTQ record: EOF before sequence line"))?;
             let plus = self
-                .read_trimmed()?
-                .ok_or_else(|| invalid("unexpected EOF before '+' line"))?;
+                .read_raw()?
+                .ok_or_else(|| invalid("truncated FASTQ record: EOF before '+' line"))?;
             if !plus.starts_with('+') {
                 return Err(invalid("FASTQ separator line must start with '+'"));
             }
             let qual = self
-                .read_trimmed()?
-                .ok_or_else(|| invalid("unexpected EOF before quality line"))?;
+                .read_raw()?
+                .ok_or_else(|| invalid("truncated FASTQ record: EOF before quality line"))?;
             if qual.len() != seq.len() {
                 return Err(invalid("quality length differs from sequence length"));
             }
@@ -170,6 +183,64 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trailing_spaces_are_trimmed() {
+        // Some converters pad lines with spaces; those must not break the
+        // seq/qual length agreement or read as content.
+        let recs = parse("@r \nACGT \n+\nIIII\t\n").unwrap();
+        assert_eq!(recs[0].id, "r");
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[0].qual, b"IIII");
+        // Whitespace-only lines between records are separators.
+        let recs = parse("@a\nA\n+\nI\n  \n@b\nCC\n+\nII\n").unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn crlf_line_endings_handled() {
+        let recs = parse("@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nCC\r\n+r2\r\n!!\r\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"ACGT");
+        assert_eq!(recs[0].qual, b"IIII");
+        assert_eq!(recs[1].id, "r2");
+    }
+
+    #[test]
+    fn empty_quality_line_parses_with_empty_sequence() {
+        // Records are strictly four lines: an empty line inside a record is
+        // content. A zero-length read (empty seq + empty qual) is valid …
+        let recs = parse("@empty\n\n+\n\n@next\nAC\n+\nII\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "empty");
+        assert!(recs[0].seq.is_empty() && recs[0].qual.is_empty());
+        assert_eq!(recs[1].seq, b"AC");
+        // … while an empty quality line under a non-empty sequence is a
+        // clean length-mismatch error, not a silent mis-parse of the next
+        // record's header as quality data.
+        assert!(parse("@r\nACGT\n+\n\n").is_err());
+    }
+
+    #[test]
+    fn truncated_final_record_errors_after_valid_records() {
+        // EOF at every depth inside the trailing record: the earlier record
+        // must still come through, then exactly one clean error.
+        for tail in [
+            "@late",
+            "@late\nACGT",
+            "@late\nACGT\n+",
+            "@late\nACGT\n+\nII",
+        ] {
+            let text = format!("@ok\nAC\n+\nII\n{tail}");
+            let mut rdr = FastqReader::new(Cursor::new(text.as_str()));
+            let first = rdr.next().unwrap().unwrap();
+            assert_eq!(first.id, "ok");
+            let err = rdr.next().unwrap().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "tail = {tail:?}");
+            assert!(rdr.next().is_none(), "reader stops after error");
+        }
     }
 
     #[test]

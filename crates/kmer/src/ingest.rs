@@ -8,12 +8,17 @@
 //! from a [`KmerSet`]), so the index hashes each unique k-mer once per
 //! repetition and writes the filter bits row-grouped instead of paying the
 //! term-at-a-time insertion path per k-mer.
+//!
+//! For streaming inputs the `pipeline_*` variants go one level further:
+//! they feed the parser straight into [`IngestPipeline`], so parsing and
+//! k-mer hashing of the next record overlap the previous record's bucket
+//! writes (bit-identical output, same error contract).
 
 use crate::cortex::KmerSet;
 use crate::fasta::FastaReader;
 use crate::fastq::FastqReader;
 use crate::iter::kmers_of;
-use rambo_core::{DocId, Rambo, RamboError};
+use rambo_core::{DocId, IngestPipeline, PipelineReport, Rambo, RamboError};
 use std::fmt;
 use std::io::{self, BufRead};
 
@@ -130,6 +135,108 @@ pub fn insert_fastq_document<R: BufRead>(
     Ok(index.insert_document_batch(name, &kmers)?)
 }
 
+/// Outcome of a pipelined streaming ingestion: the ids issued plus the
+/// pipeline's stall/queue telemetry.
+#[derive(Debug, Clone)]
+pub struct PipelinedIngest {
+    /// Ids of the documents ingested, in stream order.
+    pub ids: Vec<DocId>,
+    /// Queue/stall counters from the pipeline run.
+    pub report: PipelineReport,
+}
+
+/// Ingest a FASTA stream through the bounded-queue ingestion pipeline:
+/// while the write stage sets document *n*'s filter bits, the calling
+/// thread is already parsing record *n+1* and hashing its k-mers — the
+/// overlap that matters when records stream off storage or a decompressor.
+///
+/// Produces an index bit-identical to [`insert_fasta_documents`].
+///
+/// # Errors
+/// [`IngestError::Io`] on malformed FASTA or reader failure,
+/// [`IngestError::Index`] on duplicate headers. Documents fully written
+/// before the failure remain in the index; in-flight ones are dropped.
+pub fn pipeline_fasta_documents<R: BufRead>(
+    index: &mut Rambo,
+    reader: FastaReader<R>,
+    k: usize,
+    canonical: bool,
+    pipeline: &IngestPipeline,
+) -> Result<PipelinedIngest, IngestError> {
+    let start = index.num_documents() as DocId;
+    let mut parse_err: Option<io::Error> = None;
+    let mut records = reader;
+    let report = pipeline.ingest(
+        index,
+        std::iter::from_fn(|| match records.next() {
+            None => None,
+            Some(Ok(rec)) => {
+                let terms: Vec<u64> = kmers_of(&rec.seq, k, canonical).collect();
+                Some((rec.id, terms))
+            }
+            Some(Err(e)) => {
+                // Stop producing; the writer drains what's queued. The I/O
+                // error is surfaced after the index error check below.
+                parse_err = Some(e);
+                None
+            }
+        }),
+    )?;
+    if let Some(e) = parse_err {
+        return Err(e.into());
+    }
+    Ok(PipelinedIngest {
+        ids: (start..index.num_documents() as DocId).collect(),
+        report,
+    })
+}
+
+/// Ingest several FASTQ runs (one document each, per the genomics
+/// convention) through the pipeline: run *n+1* is parsed and hashed while
+/// run *n*'s bits are written.
+///
+/// Produces an index bit-identical to calling [`insert_fastq_document`]
+/// per run in order.
+///
+/// # Errors
+/// As [`pipeline_fasta_documents`]; the first malformed run stops the
+/// stream.
+pub fn pipeline_fastq_documents<R: BufRead>(
+    index: &mut Rambo,
+    runs: impl IntoIterator<Item = (String, FastqReader<R>)>,
+    k: usize,
+    canonical: bool,
+    pipeline: &IngestPipeline,
+) -> Result<PipelinedIngest, IngestError> {
+    let start = index.num_documents() as DocId;
+    let mut parse_err: Option<io::Error> = None;
+    let mut runs = runs.into_iter();
+    let report = pipeline.ingest(
+        index,
+        std::iter::from_fn(|| {
+            let (name, reader) = runs.next()?;
+            let mut kmers: Vec<u64> = Vec::new();
+            for record in reader {
+                match record {
+                    Ok(rec) => kmers.extend(kmers_of(&rec.seq, k, canonical)),
+                    Err(e) => {
+                        parse_err = Some(e);
+                        return None;
+                    }
+                }
+            }
+            Some((name, kmers))
+        }),
+    )?;
+    if let Some(e) = parse_err {
+        return Err(e.into());
+    }
+    Ok(PipelinedIngest {
+        ids: (start..index.num_documents() as DocId).collect(),
+        report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +298,90 @@ mod tests {
         for kmer in set.kmers() {
             assert_eq!(via_set.query_u64(*kmer), via_seq.query_u64(*kmer));
         }
+    }
+
+    #[test]
+    fn pipelined_fasta_is_bit_identical_to_eager() {
+        let fasta = ">g1\nACGTACGTACGTTTAA\n>g2\nTTTTGGGGCCCCAAAA\n>g3\nACACACACGTGTGTGT\n";
+        let mut eager = index();
+        let eager_ids =
+            insert_fasta_documents(&mut eager, FastaReader::new(Cursor::new(fasta)), 5, true)
+                .unwrap();
+        let mut piped = index();
+        let out = pipeline_fasta_documents(
+            &mut piped,
+            FastaReader::new(Cursor::new(fasta)),
+            5,
+            true,
+            &IngestPipeline::new(),
+        )
+        .unwrap();
+        assert_eq!(eager, piped, "pipelined FASTA ingest must be lossless");
+        assert_eq!(out.ids, eager_ids);
+        assert_eq!(out.report.docs, 3);
+    }
+
+    #[test]
+    fn pipelined_fasta_surfaces_parse_errors() {
+        let bad = "ACGT\n>late\nAC\n"; // data before first header
+        let mut idx = index();
+        let err = pipeline_fasta_documents(
+            &mut idx,
+            FastaReader::new(Cursor::new(bad)),
+            4,
+            false,
+            &IngestPipeline::new(),
+        );
+        assert!(matches!(err, Err(IngestError::Io(_))));
+    }
+
+    #[test]
+    fn pipelined_fastq_runs_match_eager_per_run_ingest() {
+        let run = |tag: u8| {
+            format!("@r1-{tag}\nACGTACGT\n+\nFFFFFFFF\n@r2-{tag}\nGGGGCCCC\n+\nFFFFFFFF\n")
+        };
+        let mut eager = index();
+        for t in 0..3u8 {
+            insert_fastq_document(
+                &mut eager,
+                &format!("run-{t}"),
+                FastqReader::new(Cursor::new(run(t))),
+                4,
+                false,
+            )
+            .unwrap();
+        }
+        let mut piped = index();
+        let out = pipeline_fastq_documents(
+            &mut piped,
+            (0..3u8).map(|t| (format!("run-{t}"), FastqReader::new(Cursor::new(run(t))))),
+            4,
+            false,
+            &IngestPipeline::new().queue_depth(2),
+        )
+        .unwrap();
+        assert_eq!(eager, piped, "pipelined FASTQ ingest must be lossless");
+        assert_eq!(out.ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pipelined_fastq_stops_on_malformed_run() {
+        let good = "@r\nACGT\n+\nIIII\n";
+        let bad = "@r\nACGT\n+\nII\n"; // length mismatch
+        let mut idx = index();
+        let err = pipeline_fastq_documents(
+            &mut idx,
+            vec![
+                ("good".to_string(), FastqReader::new(Cursor::new(good))),
+                ("bad".to_string(), FastqReader::new(Cursor::new(bad))),
+                ("never".to_string(), FastqReader::new(Cursor::new(good))),
+            ],
+            4,
+            false,
+            &IngestPipeline::new(),
+        );
+        assert!(matches!(err, Err(IngestError::Io(_))));
+        assert!(idx.document_id("never").is_none(), "stream stops at error");
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub use encode::{canonical_kmer, pack_kmer, revcomp_kmer, revcomp_seq, unpack_km
 pub use fasta::{FastaReader, FastaRecord};
 pub use fastq::{FastqReader, FastqRecord};
 pub use ingest::{
-    insert_fasta_documents, insert_fastq_document, insert_kmer_set, insert_sequence, IngestError,
+    insert_fasta_documents, insert_fastq_document, insert_kmer_set, insert_sequence,
+    pipeline_fasta_documents, pipeline_fastq_documents, IngestError, PipelinedIngest,
 };
 pub use iter::{kmers_of, KmerIter};
 

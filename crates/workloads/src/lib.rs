@@ -10,6 +10,8 @@
 //!   exponentially distributed multiplicity `V ~ Exp(α)`, query them, and
 //!   compare against the recorded ground truth.
 //! * [`timing`] / [`stats`] — wall-clock measurement and summary statistics.
+//! * [`telemetry`] — histogram-backed queue/stall observers for the
+//!   ingestion pipeline.
 //! * [`report`] — fixed-width table printing so each harness binary emits
 //!   rows shaped like the paper's tables.
 
@@ -20,9 +22,11 @@ pub mod archive;
 pub mod fpr;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod timing;
 
 pub use archive::{ArchiveParams, SyntheticArchive};
 pub use fpr::{FprMeasurement, PlantedQueries};
 pub use report::Table;
+pub use telemetry::QueueTelemetry;
 pub use timing::{time, Stopwatch};

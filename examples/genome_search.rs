@@ -11,9 +11,9 @@
 //! ```
 
 use rambo::baselines::{InvertedIndex, MembershipIndex};
-use rambo::core::{QueryBatch, QueryContext, QueryMode, RamboBuilder};
+use rambo::core::{IngestPipeline, QueryBatch, QueryContext, QueryMode, RamboBuilder};
 use rambo::kmer::sim::GenomeSimulator;
-use rambo::kmer::{insert_kmer_set, kmers_of, KmerSet};
+use rambo::kmer::{kmers_of, KmerSet};
 
 const K: usize = 31;
 const GENOME_LEN: usize = 20_000;
@@ -51,8 +51,10 @@ fn main() {
         .collect();
 
     // --- 3. Index with RAMBO (+ exact oracle for comparison) -------------
-    // Each k-mer set goes in through the batch-parallel ingestion engine
-    // (hash once per repetition, row-grouped writes, R-way thread fan-out).
+    // K-mer sets stream in through the bounded-queue ingestion pipeline:
+    // while the write stage sets genome n's filter bits, the calling thread
+    // is already hashing genome n+1 (each document still gets the batch
+    // engine's hash-once-per-repetition, row-grouped treatment).
     let mut index = RamboBuilder::new()
         .expected_documents(docs.len())
         .expected_terms_per_doc(mean_kmers)
@@ -61,9 +63,13 @@ fn main() {
         .seed(7)
         .build()
         .expect("valid parameters");
-    for (name, set) in &sets {
-        insert_kmer_set(&mut index, name, set).expect("unique names");
-    }
+    let report = IngestPipeline::new()
+        .ingest(&mut index, docs.iter().cloned())
+        .expect("unique names");
+    println!(
+        "pipelined ingest: {} documents, {} terms; producer stalled {}x, writer {}x",
+        report.docs, report.terms, report.producer_stalls, report.writer_stalls
+    );
     let oracle = InvertedIndex::build(&docs);
     println!(
         "RAMBO: B={} x R={}, {:.1} KB (exact inverted index: {:.1} KB)",

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Smoke-run the four throughput benchmark binaries with small, fast
+# workloads. This script is the single source of truth for the smoke flags:
+# CI's test job runs it verbatim, and a local `scripts/bench_smoke.sh`
+# executes exactly what CI does.
+#
+# Each binary asserts its own correctness invariants (bit-identity across
+# ingestion paths, served-vs-direct result parity, …) and writes its
+# BENCH_*.json into the repo root. For the full-size runs that the
+# regression gate compares against committed baselines, see
+# scripts/bench_regression.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "+ $*" >&2
+    "$@"
+}
+
+run cargo run --release -p rambo-bench --bin ingest_throughput -- \
+    --docs 20 --mean-terms 5000 --reps 4
+run cargo run --release -p rambo-bench --bin batch_query -- \
+    --docs 100 --mean-terms 200 --queries 500
+run cargo run --release -p rambo-bench --bin probe_kernel -- \
+    --mask-words 262144 --rows 8 --iters 3 --docs 100 --queries 300
+# serve-smoke: starts the micro-batching server (in-process and on a
+# loopback TCP port), fires a mixed-tier query load from 4 concurrent
+# clients, and asserts result parity with direct evaluation, non-empty
+# responses for present-term queries, strictly-smaller tier selection under
+# a loosened FPR budget, and a clean drain-and-join shutdown.
+run cargo run --release -p rambo-bench --bin serve_load -- \
+    --docs 120 --mean-terms 800 --queries 800 --window 32 \
+    --clients 4 --tcp
