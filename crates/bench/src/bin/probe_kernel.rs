@@ -1,10 +1,16 @@
 //! Probe-kernel benchmark: the row-at-a-time scalar AND loop (the
 //! pre-kernel query hot path) vs the fused 4-row word-parallel kernel of
 //! [`rambo_bitvec::kernel`], on tables well past the last-level cache —
-//! plus the storage backends: copying [`Rambo::from_bytes`] load vs the
-//! zero-copy [`Rambo::open_view`], with query parity asserted between them.
+//! with one fused row per **kernel backend** (the portable auto-vectorized
+//! loop pinned via `Kernel::forced(Backend::Scalar)`, the AVX2
+//! `target_feature` variant where the host supports it, and the dispatched
+//! default the production query path uses) — plus the storage backends:
+//! copying [`Rambo::from_bytes`] load vs the zero-copy [`Rambo::open_view`],
+//! with query parity asserted between them.
 //!
-//! Emits `BENCH_probe.json`.
+//! Emits `BENCH_probe.json` (`fused_<backend>_ms` /
+//! `speedup_fused_<backend>_vs_scalar` per supported backend;
+//! `dispatch_backend` records what `Kernel::auto()` picked).
 //!
 //! ```text
 //! cargo run --release -p rambo-bench --bin probe_kernel -- \
@@ -15,7 +21,7 @@ use rambo_bench::{
     archive_with_mean_terms, build_rambo, paper_rambo_params, single_term_queries, speedup, us_per,
     Args, JsonReport,
 };
-use rambo_bitvec::kernel;
+use rambo_bitvec::kernel::{self, Backend, Kernel};
 use rambo_core::{QueryContext, QueryMode, Rambo};
 use rambo_hash::SplitMix64;
 use rambo_workloads::timing::time;
@@ -30,21 +36,22 @@ fn probe_scalar(mask: &mut [u64], rows: &[u64], mask_words: usize) {
     }
 }
 
-/// Fused kernel: four rows ANDed into the mask per pass, early-exiting the
-/// moment the mask dies (it does not on random rows of this density).
-fn probe_vectorized(mask: &mut [u64], rows: &[u64], mask_words: usize) {
+/// Fused kernel under one pinned backend: four rows ANDed into the mask per
+/// pass, early-exiting the moment the mask dies (it does not on random rows
+/// of this density).
+fn probe_fused(k: Kernel, mask: &mut [u64], rows: &[u64], mask_words: usize) {
     mask.fill(u64::MAX);
     let mut chunks = rows.chunks_exact(4 * mask_words);
     for quad in &mut chunks {
         let (r0, rest) = quad.split_at(mask_words);
         let (r1, rest) = rest.split_at(mask_words);
         let (r2, r3) = rest.split_at(mask_words);
-        if !kernel::and_rows_into_any(mask, [r0, r1, r2, r3]) {
+        if !k.and_rows_into_any(mask, [r0, r1, r2, r3]) {
             return;
         }
     }
     for row in chunks.remainder().chunks_exact(mask_words) {
-        if !kernel::and_rows_into_any(mask, [row]) {
+        if !k.and_rows_into_any(mask, [row]) {
             return;
         }
     }
@@ -54,6 +61,13 @@ fn main() {
     let args = Args::parse();
     let mask_words = args.get_usize("mask-words", 1 << 19); // 4 MiB mask
     let n_rows = args.get_usize("rows", 16);
+    if mask_words == 0 || n_rows == 0 {
+        eprintln!(
+            "probe_kernel: --mask-words and --rows must be >= 1 \
+             (a zero-sized table has no probe to measure)"
+        );
+        std::process::exit(2);
+    }
     let iters = args.get_usize("iters", 5).max(1);
     let docs = args.get_usize("docs", 200);
     let mean_terms = args.get_usize("mean-terms", 400);
@@ -72,19 +86,46 @@ fn main() {
             probe_scalar(&mut mask_s, &rows, mask_words);
         }
     });
+    // The dispatched default — the exact path `probe_all_into` runs in
+    // production (best supported backend, RAMBO_KERNEL to override).
+    let dispatch = Kernel::auto();
     let (_, t_vec) = time(|| {
         for _ in 0..iters {
-            probe_vectorized(&mut mask_v, &rows, mask_words);
+            probe_fused(dispatch, &mut mask_v, &rows, mask_words);
         }
     });
     assert_eq!(mask_s, mask_v, "kernels must be bit-identical");
     let kernel_speedup = speedup(t_scalar, t_vec);
     eprintln!(
         "probe kernel: {table_bytes} B table, {n_rows} rows × {iters} iters — \
-         scalar {:.2} ms, vectorized {:.2} ms ({kernel_speedup:.2}x)",
+         row-at-a-time scalar {:.2} ms, fused dispatch[{}] {:.2} ms ({kernel_speedup:.2}x)",
         t_scalar.as_secs_f64() * 1e3,
+        dispatch.backend(),
         t_vec.as_secs_f64() * 1e3,
     );
+
+    // One fused row per supported backend, pinned via `Kernel::forced`, all
+    // asserted bit-identical to the row-at-a-time reference mask.
+    let mut backend_rows: Vec<(Backend, std::time::Duration)> = Vec::new();
+    let mut mask_b = vec![0u64; mask_words];
+    for backend in Backend::ALL {
+        let Ok(k) = Kernel::forced(backend) else {
+            eprintln!("probe kernel: backend {backend} unsupported on this host, skipped");
+            continue;
+        };
+        let (_, t_b) = time(|| {
+            for _ in 0..iters {
+                probe_fused(k, &mut mask_b, &rows, mask_words);
+            }
+        });
+        assert_eq!(mask_s, mask_b, "backend {backend} must be bit-identical");
+        eprintln!(
+            "probe kernel: fused {backend} {:.2} ms ({:.2}x vs row-at-a-time)",
+            t_b.as_secs_f64() * 1e3,
+            speedup(t_scalar, t_b),
+        );
+        backend_rows.push((backend, t_b));
+    }
 
     // ---- Storage comparison: copying load vs zero-copy view. ----
     let archive = archive_with_mean_terms(docs, mean_terms, seed);
@@ -132,6 +173,19 @@ fn main() {
         .num("scalar_ms", t_scalar.as_secs_f64() * 1e3 / iters as f64)
         .num("vectorized_ms", t_vec.as_secs_f64() * 1e3 / iters as f64)
         .num("speedup_vectorized_vs_scalar", kernel_speedup)
+        .str("dispatch_backend", dispatch.backend().name());
+    for (backend, t_b) in &backend_rows {
+        report
+            .num(
+                &format!("fused_{}_ms", backend.name()),
+                t_b.as_secs_f64() * 1e3 / iters as f64,
+            )
+            .num(
+                &format!("speedup_fused_{}_vs_scalar", backend.name()),
+                speedup(t_scalar, *t_b),
+            );
+    }
+    report
         .int("index_bytes", index_bytes as u64)
         .int("docs", docs as u64)
         .num("load_from_bytes_ms", t_load_owned.as_secs_f64() * 1e3)

@@ -10,7 +10,7 @@
 //!   superblocks + word scans). Used wherever we need "how many set bits
 //!   before position i" style queries, e.g. converting result bitmaps to
 //!   ranked document lists.
-//! * [`RrrVec`] — an RRR-style compressed bitvector (Raman–Raman–Rao [25]),
+//! * [`RrrVec`] — an RRR-style compressed bitvector (Raman–Raman–Rao \[25\]),
 //!   cited by the paper as the compression used by HowDeSBT and SSBT for
 //!   their tree nodes (Table 3 caption). Blocks of 15 bits are stored as a
 //!   (class, offset) pair under enumerative coding; supports `access` and
@@ -23,11 +23,16 @@
 //! [`WordStore`] storage abstraction backs a [`BitVec`] either with owned
 //! words or with a zero-copy view into a caller-provided `Arc<[u8]>`
 //! (typically a memory-mapped file), and the word-loop hot paths run through
-//! the 4-lane-unrolled kernels in [`kernel`].
+//! the runtime-dispatched kernels in [`kernel`] — a portable unrolled
+//! [`Backend::Scalar`] everywhere, 256-bit [`Backend::Avx2`] variants where
+//! `is_x86_feature_detected!` confirms support (override with the
+//! `RAMBO_KERNEL` environment variable or pin a [`Kernel`] explicitly).
 //!
-//! Unsafe policy: the crate is `deny(unsafe_code)` with exactly one audited
-//! exception — the aligned `&[u8]` → `&[u64]` reinterpretation behind the
-//! zero-copy view (see `store::cast_words`).
+//! Unsafe policy: the crate is `deny(unsafe_code)` with scoped, audited
+//! allows in exactly two places — the aligned `&[u8]` → `&[u64]`
+//! reinterpretation behind the zero-copy view (see `store::cast_words`),
+//! and the guarded `target_feature` dispatch of the AVX2 kernels (see
+//! [`kernel`]'s module docs and DESIGN.md for the safety arguments).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +46,7 @@ mod store;
 
 pub use dense::BitVec;
 pub use error::DecodeError;
+pub use kernel::{Backend, Kernel};
 pub use rank::RankBitVec;
 pub use rrr::RrrVec;
 pub use store::{skip_word_padding, write_word_padding, WordStore, WordView};

@@ -5,6 +5,7 @@
 //! they are checked against a naive `Vec<bool>` model under random inputs.
 
 use proptest::prelude::*;
+use rambo_bitvec::kernel::{and_into_scalar, Backend, ColumnCounter, Kernel};
 use rambo_bitvec::{BitVec, RankBitVec, RrrVec};
 
 /// A bit length paired with set-bit positions below it.
@@ -26,6 +27,32 @@ fn model(len: usize, ones: &[usize]) -> Vec<bool> {
         v[i] = true;
     }
     v
+}
+
+/// Deterministic pseudo-random words from a fuzzed seed: `sparsify` extra
+/// AND-draws thin the density (0 → ~50% set, 3 → ~6%), so the backend
+/// identity tests cover both live and dying masks.
+fn sparse_words(seed: u64, n: usize, sparsify: u32) -> Vec<u64> {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|_| (0..=sparsify).fold(u64::MAX, |w, _| w & next()))
+        .collect()
+}
+
+/// Every kernel backend the host supports (scalar always; AVX2 where
+/// `is_x86_feature_detected!` confirms it).
+fn supported_kernels() -> Vec<Kernel> {
+    Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .map(|b| Kernel::forced(b).unwrap())
+        .collect()
 }
 
 proptest! {
@@ -168,6 +195,120 @@ proptest! {
             let p = rb.select1(k).unwrap();
             prop_assert!(rb.get(p));
             prop_assert_eq!(rb.rank1(p), k);
+        }
+    }
+
+    /// Every supported kernel backend (AVX2 where the host has it) must be
+    /// **bit-identical** to the pinned scalar backend for the fused N-row
+    /// AND — mask words *and* the liveness flag — across fuzzed lengths,
+    /// densities (sparse rows exercise the mask-death path) and all four
+    /// probe arities. On hosts without AVX2 only scalar runs and the test
+    /// still passes (the dispatch falls back silently).
+    #[test]
+    fn kernel_backends_fused_and_bit_identical(
+        len in 0usize..600,
+        seed in any::<u64>(),
+        sparsify in 0u32..4,
+    ) {
+        let scalar = Kernel::forced(Backend::Scalar).unwrap();
+        let rows: Vec<Vec<u64>> =
+            (0..4).map(|i| sparse_words(seed ^ (i * 0x9E37), len, sparsify)).collect();
+        let base = sparse_words(seed ^ 0xABCD, len, 0);
+        for kernel in supported_kernels() {
+            for arity in 1..=4usize {
+                // Independent reference: row-at-a-time scalar AND.
+                let mut expect = base.clone();
+                for r in rows.iter().take(arity) {
+                    and_into_scalar(&mut expect, r);
+                }
+                let mut scalar_got = base.clone();
+                let mut got = base.clone();
+                let (scalar_live, live) = match arity {
+                    1 => (
+                        scalar.and_rows_into_any(&mut scalar_got, [&rows[0][..]]),
+                        kernel.and_rows_into_any(&mut got, [&rows[0][..]]),
+                    ),
+                    2 => (
+                        scalar.and_rows_into_any(&mut scalar_got, [&rows[0][..], &rows[1]]),
+                        kernel.and_rows_into_any(&mut got, [&rows[0][..], &rows[1]]),
+                    ),
+                    3 => (
+                        scalar.and_rows_into_any(
+                            &mut scalar_got,
+                            [&rows[0][..], &rows[1], &rows[2]],
+                        ),
+                        kernel.and_rows_into_any(&mut got, [&rows[0][..], &rows[1], &rows[2]]),
+                    ),
+                    _ => (
+                        scalar.and_rows_into_any(
+                            &mut scalar_got,
+                            [&rows[0][..], &rows[1], &rows[2], &rows[3]],
+                        ),
+                        kernel.and_rows_into_any(
+                            &mut got,
+                            [&rows[0][..], &rows[1], &rows[2], &rows[3]],
+                        ),
+                    ),
+                };
+                prop_assert_eq!(&scalar_got, &expect, "scalar vs reference, arity {}", arity);
+                prop_assert_eq!(
+                    &got, &expect,
+                    "{} vs reference, arity {}", kernel.backend(), arity
+                );
+                prop_assert_eq!(scalar_live, expect.iter().any(|&w| w != 0));
+                prop_assert_eq!(live, scalar_live, "{} liveness", kernel.backend());
+            }
+        }
+    }
+
+    /// OR, popcount and any must agree across every supported backend on
+    /// fuzzed words (the intersection walk and fill statistics depend on
+    /// these three being interchangeable).
+    #[test]
+    fn kernel_backends_or_popcount_any_bit_identical(
+        len in 0usize..600,
+        seed in any::<u64>(),
+        sparsify in 0u32..4,
+    ) {
+        let scalar = Kernel::forced(Backend::Scalar).unwrap();
+        let a = sparse_words(seed, len, sparsify);
+        let b = sparse_words(seed ^ 0x5555, len, sparsify);
+        for kernel in supported_kernels() {
+            let mut or_s = a.clone();
+            scalar.or_into(&mut or_s, &b);
+            let mut or_k = a.clone();
+            kernel.or_into(&mut or_k, &b);
+            prop_assert_eq!(&or_k, &or_s, "{} or_into", kernel.backend());
+            prop_assert_eq!(kernel.popcount(&a), scalar.popcount(&a));
+            prop_assert_eq!(kernel.any(&a), scalar.any(&a));
+            prop_assert_eq!(kernel.popcount(&or_k), scalar.popcount(&or_s));
+        }
+    }
+
+    /// The bit-sliced column counters must produce identical counts under
+    /// every supported backend (fuzzed row width, row count and density) —
+    /// the fill statistics behind FPR prediction may not depend on the CPU.
+    #[test]
+    fn kernel_backends_column_counts_bit_identical(
+        width in 1usize..8,
+        n_rows in 0usize..70,
+        seed in any::<u64>(),
+        sparsify in 0u32..4,
+    ) {
+        let rows: Vec<Vec<u64>> =
+            (0..n_rows).map(|i| sparse_words(seed ^ (i as u64 * 31), width, sparsify)).collect();
+        let scalar = Kernel::forced(Backend::Scalar).unwrap();
+        let mut reference = ColumnCounter::with_kernel(width, scalar);
+        for row in &rows {
+            reference.add_row(row);
+        }
+        let expect = reference.counts();
+        for kernel in supported_kernels() {
+            let mut cc = ColumnCounter::with_kernel(width, kernel);
+            for row in &rows {
+                cc.add_row(row);
+            }
+            prop_assert_eq!(cc.counts(), expect.clone(), "{}", kernel.backend());
         }
     }
 

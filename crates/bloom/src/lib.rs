@@ -16,7 +16,7 @@
 //! * [`BloomFilter`] — fixed-size filter with Kirsch–Mitzenmacher double
 //!   hashing; the BFU building block.
 //! * [`ScalableBloomFilter`] — Almeida et al.'s scalable filter (paper
-//!   reference [4], suggested for adaptive BFU sizing when document
+//!   reference \[4\], suggested for adaptive BFU sizing when document
 //!   cardinalities are unknown).
 //! * [`CountingBloomFilter`] — counter-based filter supporting deletion; an
 //!   extension the paper mentions implicitly by noting any membership tester

@@ -3,7 +3,7 @@
 //! The simplified analysis the paper adopts: a filter of `m` bits holding `n`
 //! keys with `η` hash functions has false-positive rate
 //! `p ≈ (1 − e^{−ηn/m})^η`, minimized by `η = (m/n)·ln 2`, giving
-//! `m = −n·ln p / (ln 2)²`. The paper notes (citing Christensen et al. [13])
+//! `m = −n·ln p / (ln 2)²`. The paper notes (citing Christensen et al. \[13\])
 //! that this underestimates slightly for tiny filters but is accurate at BFU
 //! scale; we implement the same expressions and validate them empirically in
 //! the test suite.

@@ -365,6 +365,21 @@ impl MaskCache {
 /// the map without limit, and masks evicted from the LLC stop being
 /// cheaper than a re-probe anyway). Use [`QueryBatch::with_mask_capacity`]
 /// to tune the entry count directly.
+///
+/// ```
+/// use rambo_core::{QueryBatch, QueryMode, Rambo, RamboParams};
+///
+/// let mut index = Rambo::new(RamboParams::flat(8, 3, 1 << 12, 2, 7)).unwrap();
+/// let a = index.insert_document("doc-a", [1u64, 2, 3]).unwrap();
+/// let b = index.insert_document("doc-b", [2u64, 3, 4]).unwrap();
+///
+/// // Queries sharing terms probe each distinct term's rows exactly once.
+/// let mut batch = QueryBatch::new(&index);
+/// let results = batch.run(&[vec![2], vec![2, 3], vec![4]], QueryMode::Full);
+/// assert_eq!(results[0], vec![a, b]); // term 2 is in both documents
+/// assert_eq!(results[1], vec![a, b]); // both contain {2, 3}
+/// assert_eq!(results[2], vec![b]);
+/// ```
 pub struct QueryBatch<'i> {
     index: &'i Rambo,
     ctx: QueryContext,

@@ -250,6 +250,16 @@ impl Rambo {
     /// row-grouped — bit-identical to the former term-at-a-time loop but
     /// substantially faster for real document sizes.
     ///
+    /// ```
+    /// use rambo_core::{Rambo, RamboParams};
+    ///
+    /// // 8 buckets × 3 repetitions of 4096-bit BFUs, η = 2 hash functions.
+    /// let mut index = Rambo::new(RamboParams::flat(8, 3, 1 << 12, 2, 7)).unwrap();
+    /// let doc = index.insert_document("genome-A", [0xAC67u64, 0xBEEF]).unwrap();
+    /// assert_eq!(index.query_u64(0xAC67), vec![doc]); // zero false negatives
+    /// assert_eq!(index.total_inserts(), 2);
+    /// ```
+    ///
     /// # Errors
     /// [`RamboError::DuplicateDocument`] when the name is already indexed.
     pub fn insert_document(

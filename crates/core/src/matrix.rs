@@ -13,7 +13,10 @@
 //! The probe itself runs through the fused kernels of
 //! [`rambo_bitvec::kernel`]: up to four probed rows are ANDed into the
 //! bucket mask per pass (duplicate query terms deduplicated first), and the
-//! table is abandoned the moment the running mask goes all-zero. The word
+//! table is abandoned the moment the running mask goes all-zero. The kernels
+//! are runtime-dispatched ([`rambo_bitvec::kernel::Backend`]): the probe,
+//! the repetition-intersection walk and the bit-sliced column fills all pick
+//! up the AVX2 variants on hosts that support them, with no change here. The word
 //! payload lives in a [`WordStore`] — owned, or a zero-copy view into a
 //! serialized index buffer (see [`crate::Rambo::open_view`]); mutating a
 //! viewed matrix promotes it to owned storage first.

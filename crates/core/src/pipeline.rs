@@ -15,7 +15,7 @@
 //!   to pay (same threshold, same policy) — using nothing but the index's
 //!   Bloom seeds, so it can run on any thread without touching the index.
 //!   [`Rambo::apply_hashed`] replays such a block through
-//!   [`crate::matrix`]'s row sweep.
+//!   the matrix row sweep.
 //!   The split is lossless: bit-setting is idempotent and commutative, so
 //!   hash-then-apply is **bit-identical** to the in-place batch path (pinned
 //!   by the property suite via full `PartialEq`).
@@ -88,7 +88,9 @@ impl Rambo {
     /// exclusively owned by the write stage.
     #[must_use]
     pub fn hash_plan(&self) -> HashPlan {
-        let table_bytes = self.params().bfu_bits * (self.buckets() as usize).div_ceil(64) * 8;
+        // Same size the batch engine compares against ROW_SORT_MIN_BYTES, so
+        // the "same threshold, same policy" contract can't drift.
+        let table_bytes = self.tables[0].matrix.size_bytes();
         HashPlan {
             seed_tag: seed_tag(&self.bloom_seeds),
             seeds: self.bloom_seeds.clone(),

@@ -319,6 +319,21 @@ impl Rambo {
     /// RAMBO the same robustness. Documents are returned in ascending id
     /// order; queries that can no longer reach the threshold abort early.
     ///
+    /// ```
+    /// use rambo_core::{QueryContext, QueryMode, Rambo, RamboParams};
+    ///
+    /// let mut index = Rambo::new(RamboParams::flat(8, 3, 1 << 12, 2, 7)).unwrap();
+    /// let doc = index.insert_document("run-1", 0..100u64).unwrap();
+    ///
+    /// // Two of five query terms were never indexed (read errors): the
+    /// // strict intersection fails, θ = 0.6 still recovers the document.
+    /// let seq = [1u64, 2, 3, 9999, 8888];
+    /// let mut ctx = QueryContext::new();
+    /// assert!(index.query_sequence_u64(&seq, QueryMode::Full).is_empty());
+    /// let hits = index.query_sequence_theta(&seq, 0.6, QueryMode::Full, &mut ctx);
+    /// assert_eq!(hits, vec![doc]);
+    /// ```
+    ///
     /// # Panics
     /// Panics unless `0 < theta ≤ 1`.
     #[must_use]

@@ -272,6 +272,22 @@ impl Rambo {
     /// The whole buffer must contain exactly one index; use
     /// [`Rambo::open_view_at`] for multi-index buffers.
     ///
+    /// ```
+    /// use rambo_core::{Rambo, RamboParams};
+    /// use std::sync::Arc;
+    ///
+    /// let mut index = Rambo::new(RamboParams::flat(8, 3, 1 << 12, 2, 7)).unwrap();
+    /// let doc = index.insert_document("genome-A", [7u64, 8, 9]).unwrap();
+    ///
+    /// // Serialize (format v2 8-byte-aligns word payloads), then re-open
+    /// // borrowing the filter words in place — no payload copy.
+    /// let buf: Arc<[u8]> = index.to_bytes().unwrap().into();
+    /// if let Ok(view) = Rambo::open_view(buf.clone()) {
+    ///     assert!(view.is_view() && view.payload_borrows(&buf));
+    ///     assert_eq!(view.query_u64(8), vec![doc]); // answers match the copy
+    /// } // (an Err means the buffer landed misaligned — fall back to from_bytes)
+    /// ```
+    ///
     /// # Errors
     /// [`RamboError::Decode`] on any malformed input, on trailing bytes, or
     /// when a word payload is not 8-byte-aligned in memory (fall back to

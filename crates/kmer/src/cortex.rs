@@ -1,7 +1,7 @@
 //! McCortex-like binary k-mer-set format.
 //!
 //! The paper's fastest ingestion path uses the McCortex format (Turner et
-//! al., reference [32]): "a filtered set of k-mers that omits low-frequency
+//! al., reference \[32\]): "a filtered set of k-mers that omits low-frequency
 //! errors from the sequencing instruments", noting that "insertion from
 //! McCortex format is blazing fast and preferred as it has unique and
 //! filtered k-mers" (§5.2).

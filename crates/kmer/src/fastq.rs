@@ -1,4 +1,4 @@
-//! Minimal streaming FASTQ parser and writer (Cock et al., reference [14] of
+//! Minimal streaming FASTQ parser and writer (Cock et al., reference \[14\] of
 //! the paper — the Sanger variant with phred+33 quality scores).
 //!
 //! FASTQ is the paper's "raw, unfiltered sequence reads" format. Records are

@@ -103,6 +103,26 @@ impl Catalog {
     /// layout — typically a memory-mapped catalog file). Every tier borrows
     /// its payload from `buf`.
     ///
+    /// ```
+    /// use rambo_core::{Rambo, RamboParams};
+    /// use rambo_server::Catalog;
+    /// use std::sync::Arc;
+    ///
+    /// let mut index = Rambo::new(RamboParams::flat(16, 3, 1 << 12, 2, 7)).unwrap();
+    /// for d in 0..24u64 {
+    ///     index
+    ///         .insert_document(&format!("doc{d}"), (0..40).map(|t| d << 16 | t))
+    ///         .unwrap();
+    /// }
+    /// // Serialize tiers B = 16 and B = 8 back-to-back, then re-open them
+    /// // zero-copy from one shared buffer (persist `bytes` to make a file).
+    /// let bytes: Arc<[u8]> = index.fold_catalog_bytes(&[16, 8]).unwrap().into();
+    /// let catalog = Catalog::open(bytes).unwrap();
+    /// assert_eq!(catalog.len(), 2);
+    /// assert_eq!(catalog.tier(0).buckets(), 16);
+    /// assert!(catalog.info(1).predicted_fpr > catalog.info(0).predicted_fpr);
+    /// ```
+    ///
     /// # Errors
     /// [`RamboError::Decode`] on malformed bytes, and
     /// [`RamboError::InvalidParams`] when the versions are not strictly

@@ -30,6 +30,12 @@
 //! * [`serve_tcp`] — an optional length-prefixed TCP front over
 //!   `std::net`, with [`TcpClient`] as the matching blocking client.
 //!
+//! Every tier evaluator probes through the runtime-dispatched SIMD kernels
+//! of [`rambo_core::kernel`] (re-exported here as [`KernelBackend`] /
+//! [`Kernel`]): the best backend the CPU supports is selected once at
+//! startup, and the `RAMBO_KERNEL` environment variable (`scalar`, `avx2`,
+//! `auto`) pins one for benchmarking — no server configuration required.
+//!
 //! ```
 //! use rambo_core::{Rambo, RamboParams};
 //! use rambo_server::{Catalog, Server, ServerConfig};
@@ -64,6 +70,7 @@ mod stats;
 mod tcp;
 
 pub use catalog::{Catalog, TierInfo};
+pub use rambo_core::kernel::{Backend as KernelBackend, Kernel};
 pub use server::{
     PendingReply, QueryOptions, QueryReply, Server, ServerConfig, ServerError, ServerHandle,
 };

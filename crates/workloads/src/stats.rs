@@ -72,7 +72,7 @@ const HIST_SUB: usize = 1 << HIST_SUB_BITS;
 const HIST_BUCKETS: usize = HIST_SUB + (64 - HIST_SUB_BITS as usize) * HIST_SUB;
 
 /// Lock-free log-linear latency histogram (HDR-histogram-style: power-of-two
-/// octaves split into [`HIST_SUB`] linear sub-buckets), recordable from any
+/// octaves split into `HIST_SUB` linear sub-buckets), recordable from any
 /// number of threads with one relaxed atomic increment per sample.
 ///
 /// Quantiles are approximate — a sample lands in a bucket spanning at most
