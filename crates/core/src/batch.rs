@@ -236,10 +236,10 @@ const DEFAULT_MASK_CACHE_BYTES: usize = 32 << 20;
 /// Sentinel link for the intrusive LRU list.
 const NIL: u32 = u32::MAX;
 
-/// One resident mask blob with its LRU links.
+/// One resident entry's term and LRU links; its mask blob lives in the
+/// shared [`MaskCache::blobs`] arena at `slot_index * blob_words`.
 struct MaskSlot {
     term: u64,
-    blob: Box<[u64]>,
     prev: u32,
     next: u32,
 }
@@ -247,11 +247,17 @@ struct MaskSlot {
 /// Bounded LRU memo: term → its `R` bucket masks as one flat
 /// repetition-major word blob. A `FastMap` indexes into a slot arena that
 /// doubles as an intrusive doubly-linked recency list, so get/insert/evict
-/// are all O(1) with one allocation per *resident* entry.
+/// are all O(1); blobs live side by side in one arena vector, so inserting
+/// a cold term allocates nothing and terms memoized together (a query's
+/// window) stay contiguous for the warm-path reads.
 struct MaskCache {
     cap: usize,
+    /// Words per blob — one geometry per cache.
+    blob_words: usize,
     map: FastMap<u64, u32>,
     slots: Vec<MaskSlot>,
+    /// Flat blob arena; slot `s` owns `blobs[s * blob_words..][..blob_words]`.
+    blobs: Vec<u64>,
     /// Most-recently-used slot.
     head: u32,
     /// Least-recently-used slot (the eviction victim).
@@ -259,11 +265,38 @@ struct MaskCache {
 }
 
 impl MaskCache {
-    fn new(cap: usize) -> Self {
+    fn new(cap: usize, blob_words: usize) -> Self {
+        let cap = cap.max(1);
+        // Reserve the map, slot arena and blob arena up front (bounded for
+        // pathological caps): growing them organically means rehash/realloc
+        // pauses of hundreds of microseconds to milliseconds *during
+        // serving* once the memo holds tens of thousands of terms — a
+        // latency cliff in exactly the long-lived evaluators the memo
+        // exists for. Reserved-but-unused pages are virtual and cost
+        // nothing until touched.
+        let reserve = cap.min(1 << 20);
+        let mut map = FastMap::default();
+        map.reserve(reserve);
+        // Prefault the arenas (write-then-clear keeps the committed pages):
+        // growing into untouched reserved pages takes a soft page fault per
+        // 4 KiB, and a cold query inserting ~200 blobs crosses enough page
+        // boundaries to smear hundreds of microseconds across the first
+        // minutes of serving.
+        let mut slots = Vec::new();
+        slots.resize_with(reserve, || MaskSlot {
+            term: 0,
+            prev: NIL,
+            next: NIL,
+        });
+        slots.clear();
+        let mut blobs = vec![0u64; reserve * blob_words];
+        blobs.clear();
         Self {
-            cap: cap.max(1),
-            map: FastMap::default(),
-            slots: Vec::new(),
+            cap,
+            blob_words,
+            map,
+            slots,
+            blobs,
             head: NIL,
             tail: NIL,
         }
@@ -301,6 +334,18 @@ impl MaskCache {
         }
     }
 
+    /// Hit-path lookup: bump the term to most-recently-used and return its
+    /// blob, or `None` if not resident.
+    fn get(&mut self, term: u64) -> Option<&[u64]> {
+        let &s = self.map.get(&term)?;
+        if self.head != s {
+            self.unlink(s);
+            self.push_front(s);
+        }
+        let start = s as usize * self.blob_words;
+        Some(&self.blobs[start..start + self.blob_words])
+    }
+
     /// Look up a term's blob (bumping it to most-recently-used), filling it
     /// via `fill` on a miss — one hash lookup on the hit path. At capacity
     /// the evicted entry's allocation is handed to `fill` for reuse, so a
@@ -311,12 +356,14 @@ impl MaskCache {
         blob_words: usize,
         fill: impl FnOnce(&mut [u64]),
     ) -> &[u64] {
+        debug_assert_eq!(blob_words, self.blob_words, "one geometry per cache");
         if let Some(&s) = self.map.get(&term) {
             if self.head != s {
                 self.unlink(s);
                 self.push_front(s);
             }
-            return &self.slots[s as usize].blob;
+            let start = s as usize * self.blob_words;
+            return &self.blobs[start..start + self.blob_words];
         }
         let s = if self.map.len() >= self.cap {
             let victim = self.tail;
@@ -324,23 +371,23 @@ impl MaskCache {
             self.unlink(victim);
             let slot = &mut self.slots[victim as usize];
             self.map.remove(&slot.term);
-            debug_assert_eq!(slot.blob.len(), blob_words, "one geometry per cache");
             slot.term = term;
             victim
         } else {
             let s = u32::try_from(self.slots.len()).expect("mask cache capacity exceeds u32");
             self.slots.push(MaskSlot {
                 term,
-                blob: vec![0u64; blob_words].into_boxed_slice(),
                 prev: NIL,
                 next: NIL,
             });
+            self.blobs.resize(self.blobs.len() + self.blob_words, 0);
             s
         };
-        fill(&mut self.slots[s as usize].blob);
+        let start = s as usize * self.blob_words;
+        fill(&mut self.blobs[start..start + self.blob_words]);
         self.map.insert(term, s);
         self.push_front(s);
-        &self.slots[s as usize].blob
+        &self.blobs[start..start + self.blob_words]
     }
 
     /// Non-bumping membership probe (diagnostics/tests).
@@ -385,8 +432,12 @@ pub struct QueryBatch<'i> {
     ctx: QueryContext,
     /// Bounded per-term mask memo (`R × ⌈B/64⌉` words per entry).
     masks: MaskCache,
-    /// Scratch for probing a new term's masks.
-    probe: BitVec,
+    /// Cold-term scratch for the bulk miss fill: the deduplicated missing
+    /// terms, their per-repetition hash pairs, and a rep-major mask staging
+    /// area (reused across queries so the miss path never allocates).
+    miss_terms: Vec<u64>,
+    miss_pairs: Vec<HashPair>,
+    miss_masks: Vec<u64>,
     /// Per-repetition combined-mask scratch (`R` masks of `B` bits), so the
     /// evaluation loop does one cache lookup per *term* rather than per
     /// `(term, repetition)`.
@@ -412,8 +463,13 @@ impl<'i> QueryBatch<'i> {
         Self {
             index,
             ctx: QueryContext::new(),
-            masks: MaskCache::new(capacity),
-            probe: BitVec::zeros(index.buckets() as usize),
+            masks: MaskCache::new(
+                capacity,
+                index.repetitions() * (index.buckets() as usize).div_ceil(64),
+            ),
+            miss_terms: Vec::new(),
+            miss_pairs: Vec::new(),
+            miss_masks: Vec::new(),
             rep_masks: (0..index.repetitions())
                 .map(|_| BitVec::zeros(index.buckets() as usize))
                 .collect(),
@@ -462,6 +518,14 @@ impl<'i> QueryBatch<'i> {
     /// Full-mode evaluation over memoized masks. Probing rows for a term
     /// happens at most once per index lifetime; each query is then `R`
     /// word-wise mask ANDs plus the union/intersection walk.
+    ///
+    /// Cold terms are *deferred*: resident terms are consumed in a first
+    /// pass, then every missing term's rows are probed in one interleaved
+    /// bulk sweep per repetition ([`BfuMatrix::probe_pairs_into`]). A
+    /// term-at-a-time fill serializes one random DRAM read behind another,
+    /// which made a query's first sighting of a document ~3× slower than a
+    /// memo-free evaluation — the bulk sweep overlaps the misses, so a cold
+    /// query costs about the same as a direct one.
     fn query_full_memoized(&mut self, terms: &[u64]) -> Vec<DocId> {
         let index = self.index;
         let k = index.num_documents();
@@ -471,26 +535,19 @@ impl<'i> QueryBatch<'i> {
         let b = index.buckets() as usize;
         let eta = index.params().eta;
         let mask_words = b.div_ceil(64);
-        // Combined bucket masks, term-major: each term's blob is looked up
-        // (or probed and inserted) once, then immediately ANDed into every
-        // repetition's mask — consume-before-evict, so a query with more
-        // distinct terms than the cache capacity still evaluates correctly.
+        let blob_words = index.repetitions() * mask_words;
         for mask in &mut self.rep_masks {
             mask.set_all();
         }
+        // Pass 1: resident terms — one memo lookup each (disjoint-field
+        // borrows: `masks` is the cache, `rep_masks` the accumulators),
+        // ANDed straight into the repetition masks.
+        self.miss_terms.clear();
         for &t in terms {
-            // Disjoint-field closure capture: `probe` is scratch, `masks`
-            // is the cache — one hash lookup per term on the hit path. The
-            // fill overwrites every word of the (possibly recycled) blob.
-            let probe = &mut self.probe;
-            let blob_words = index.repetitions() * mask_words;
-            let blob = self.masks.get_or_insert_with(t, blob_words, |blob| {
-                for (rep, table) in index.tables.iter().enumerate() {
-                    let pair = index.hash_u64_rep(rep, t);
-                    table.matrix.probe_all_into(&[pair], eta, probe);
-                    blob[rep * mask_words..(rep + 1) * mask_words].copy_from_slice(probe.words());
-                }
-            });
+            let Some(blob) = self.masks.get(t) else {
+                self.miss_terms.push(t);
+                continue;
+            };
             let mut all_live = true;
             for (rep, mask) in self.rep_masks.iter_mut().enumerate() {
                 all_live &= mask.and_words_any(&blob[rep * mask_words..(rep + 1) * mask_words]);
@@ -498,6 +555,52 @@ impl<'i> QueryBatch<'i> {
             if !all_live {
                 // Some repetition's bucket mask died: its union is empty, so
                 // the intersection is conclusively empty.
+                return Vec::new();
+            }
+        }
+        // Pass 2: cold terms, bulk-probed into a rep-major staging area,
+        // then gathered into blobs. Each blob is memoized and consumed
+        // immediately — consume-before-evict, so a query with more cold
+        // terms than the memo capacity still evaluates correctly.
+        if !self.miss_terms.is_empty() {
+            self.miss_terms.sort_unstable();
+            self.miss_terms.dedup();
+            let n = self.miss_terms.len();
+            self.miss_masks.clear();
+            self.miss_masks.resize(n * blob_words, 0);
+            for (rep, table) in index.tables.iter().enumerate() {
+                self.miss_pairs.clear();
+                let miss_terms = &self.miss_terms;
+                self.miss_pairs
+                    .extend(miss_terms.iter().map(|&t| index.hash_u64_rep(rep, t)));
+                table.matrix.probe_pairs_into(
+                    &self.miss_pairs,
+                    eta,
+                    &mut self.miss_masks[rep * n * mask_words..(rep + 1) * n * mask_words],
+                );
+            }
+            let mut dead = false;
+            for i in 0..n {
+                let (t, miss_masks) = (self.miss_terms[i], &self.miss_masks);
+                let blob = self.masks.get_or_insert_with(t, blob_words, |blob| {
+                    for rep in 0..index.repetitions() {
+                        let src = (rep * n + i) * mask_words;
+                        blob[rep * mask_words..(rep + 1) * mask_words]
+                            .copy_from_slice(&miss_masks[src..src + mask_words]);
+                    }
+                });
+                // The rows are already probed, so the remaining terms stay
+                // worth memoizing even after the result is known-empty.
+                if dead {
+                    continue;
+                }
+                let mut all_live = true;
+                for (rep, mask) in self.rep_masks.iter_mut().enumerate() {
+                    all_live &= mask.and_words_any(&blob[rep * mask_words..(rep + 1) * mask_words]);
+                }
+                dead = !all_live;
+            }
+            if dead {
                 return Vec::new();
             }
         }

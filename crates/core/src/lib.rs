@@ -103,6 +103,6 @@ pub use index::{DocId, Rambo};
 pub use params::RamboParams;
 pub use partition::PartitionScheme;
 pub use pipeline::{HashPlan, HashedDoc, IngestPipeline, PipelineObserver, PipelineReport};
-pub use query::{QueryContext, QueryMode};
+pub use query::{canonical_query_key, QueryContext, QueryMode};
 pub use rambo_bitvec::kernel;
 pub use sharded::{build_sharded_parallel, ShardedRambo};

@@ -201,6 +201,59 @@ impl BfuMatrix {
         }
     }
 
+    /// Materialize each pair's *own* bucket mask:
+    /// `out[i * row_words..][..row_words]` becomes the AND of pair `i`'s
+    /// `eta` rows — which BFUs contain that term. Unlike
+    /// [`BfuMatrix::probe_all_into`] the masks stay separate (the shape the
+    /// batch evaluator's per-term memo stores), and the row loads of up to
+    /// four pairs are interleaved so their random-access cache misses
+    /// overlap instead of serializing: a cold memo fill is latency-bound,
+    /// and term-at-a-time probing leaves the memory pipeline idle.
+    pub(crate) fn probe_pairs_into(&self, pairs: &[HashPair], eta: u32, out: &mut [u64]) {
+        let rw = self.row_words;
+        debug_assert_eq!(out.len(), pairs.len() * rw);
+        let words = self.words.as_words();
+        if eta == 0 {
+            // Zero filter bits per term: every bucket matches (the same
+            // all-ones-with-zero-tail mask `probe_all_into` starts from).
+            let tail = self.buckets % 64;
+            for mask in out.chunks_exact_mut(rw) {
+                mask.fill(!0u64);
+                if tail != 0 {
+                    mask[rw - 1] = (1u64 << tail) - 1;
+                }
+            }
+            return;
+        }
+        let m = self.m_bits as u64;
+        const LANES: usize = 4;
+        let mut offs = [0usize; LANES];
+        for (chunk_i, chunk) in pairs.chunks(LANES).enumerate() {
+            let base = chunk_i * LANES * rw;
+            // First row of every lane, offsets computed before any load so
+            // the loads issue back to back with no dependencies between
+            // them; then each later row is ANDed in, again lane-interleaved.
+            for (g, pair) in chunk.iter().enumerate() {
+                offs[g] = pair.index(0, m) as usize * rw;
+            }
+            for g in 0..chunk.len() {
+                out[base + g * rw..base + (g + 1) * rw]
+                    .copy_from_slice(&words[offs[g]..offs[g] + rw]);
+            }
+            for j in 1..eta {
+                for (g, pair) in chunk.iter().enumerate() {
+                    offs[g] = pair.index(j, m) as usize * rw;
+                }
+                for g in 0..chunk.len() {
+                    let row = &words[offs[g]..offs[g] + rw];
+                    for (dst, r) in out[base + g * rw..base + (g + 1) * rw].iter_mut().zip(row) {
+                        *dst &= r;
+                    }
+                }
+            }
+        }
+    }
+
     /// Does one BFU contain all the terms? Used by RAMBO+ for memoized
     /// candidate-bucket probes.
     #[inline]

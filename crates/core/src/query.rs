@@ -392,6 +392,57 @@ impl Rambo {
     }
 }
 
+/// Salts decorrelating the two 64-bit halves of [`canonical_query_key`].
+const QUERY_KEY_SALT_LO: u64 = 0x9E37_79B9_7F4A_7C15;
+const QUERY_KEY_SALT_HI: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// A 128-bit key identifying a query's term **set**, independent of term
+/// order and multiplicity: `[b, a, a]` and `[a, b]` produce the same key,
+/// mirroring Algorithm 2's semantics (probing a term twice ANDs the same
+/// mask twice — idempotent), so any serving-layer result cache keyed by
+/// this value returns bit-identical answers for every phrasing of the same
+/// set.
+///
+/// The combine is a commutative wrapping sum of two independently salted
+/// [`rambo_hash::mix64`] images per distinct term, folded with the distinct
+/// count — order-insensitive by construction, no sort needed for the
+/// already-strictly-sorted batches the ingestion paths produce. Unsorted
+/// inputs pay one sort+dedupe of a scratch copy.
+///
+/// ```
+/// use rambo_core::canonical_query_key;
+///
+/// assert_eq!(
+///     canonical_query_key(&[3, 1, 2, 2]),
+///     canonical_query_key(&[1, 2, 3]),
+/// );
+/// assert_ne!(canonical_query_key(&[1, 2]), canonical_query_key(&[1, 2, 3]));
+/// ```
+#[must_use]
+pub fn canonical_query_key(terms: &[u64]) -> u128 {
+    use rambo_hash::mix64;
+    let fold = |unique: &[u64]| {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for &t in unique {
+            lo = lo.wrapping_add(mix64(t ^ QUERY_KEY_SALT_LO));
+            hi = hi.wrapping_add(mix64(t.rotate_left(32) ^ QUERY_KEY_SALT_HI));
+        }
+        // Fold the distinct count into both halves so `{}`-padding or
+        // truncation collisions cannot survive the final mix.
+        let n = unique.len() as u64;
+        (u128::from(mix64(lo ^ n)) << 64) | u128::from(mix64(hi ^ n.rotate_left(17)))
+    };
+    if terms.windows(2).all(|w| w[0] < w[1]) {
+        fold(terms)
+    } else {
+        let mut sorted = terms.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        fold(&sorted)
+    }
+}
+
 /// Merge-intersection of two ascending id lists.
 fn intersect_sorted_ids(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
@@ -641,5 +692,23 @@ mod tests {
     fn intersect_sorted_ids_basic() {
         assert_eq!(intersect_sorted_ids(&[1, 3, 5], &[3, 5, 7]), vec![3, 5]);
         assert_eq!(intersect_sorted_ids(&[], &[1]), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn canonical_query_key_is_order_and_multiplicity_insensitive() {
+        let sorted = [1u64, 5, 9, 42];
+        let shuffled = [42u64, 9, 1, 5];
+        let duplicated = [5u64, 1, 42, 9, 5, 1, 1];
+        let k = canonical_query_key(&sorted);
+        assert_eq!(k, canonical_query_key(&shuffled));
+        assert_eq!(k, canonical_query_key(&duplicated));
+        // Distinct sets get distinct keys (w.h.p.; these literals do).
+        assert_ne!(k, canonical_query_key(&[1u64, 5, 9]));
+        assert_ne!(k, canonical_query_key(&[1u64, 5, 9, 43]));
+        assert_ne!(canonical_query_key(&[]), canonical_query_key(&[0]));
+        // Subset-sum padding: {a} vs {a, a} must collapse, {a} vs {a, 0}
+        // must not (0 hashes to a non-zero image).
+        assert_eq!(canonical_query_key(&[7, 7]), canonical_query_key(&[7]));
+        assert_ne!(canonical_query_key(&[7, 0]), canonical_query_key(&[7]));
     }
 }

@@ -1,4 +1,4 @@
-//! # rambo-server — micro-batching, multi-core serving over a fold-over tier catalog
+//! # rambo-server — adaptive-scheduling, multi-core serving over a fold-over tier catalog
 //!
 //! The paper's operational story has two halves. Construction ends with
 //! "a one-time processing allows us to create several versions of RAMBO
@@ -16,19 +16,34 @@
 //!   the budget: loose budgets run in the folded, cache-friendlier
 //!   versions, tight budgets in the full build.
 //! * [`Server`] — per-core evaluator workers (scoped threads, one
-//!   zero-copy tier view each) behind bounded per-tier admission queues.
-//!   Workers **micro-batch**: each takes whatever requests are queued (up
-//!   to `max_batch`, waiting at most `max_delay` for stragglers), then
-//!   evaluates the batch through a tier-local
-//!   [`rambo_core::QueryBatch`], so the LRU per-term bucket-mask memo and
-//!   the query scratch amortize across concurrent clients — sequence
-//!   workloads share most terms between adjacent requests. Backpressure
-//!   is explicit ([`ServerError::Overloaded`]), deadlines are enforced on
-//!   both sides of the queue, and shutdown is structural: leaving
-//!   [`Server::scope`] drains and joins everything, returning a final
-//!   [`ServerStats`] snapshot of per-tier latency/throughput/hit counters.
+//!   zero-copy tier view each) behind bounded per-tier admission queues,
+//!   under a **load-adaptive scheduler** ([`SchedulerMode`], default
+//!   `Adaptive`). At low load a request is evaluated *inline* on the
+//!   submitting thread — no hand-off, no wake-up. Under concurrency
+//!   (inline lock contention, queue depth, or distinct threads admitting
+//!   within a 10 ms window) the lane flips to **micro-batching**: workers
+//!   take whatever requests are queued (up to `max_batch`, waiting at
+//!   most `max_delay` for stragglers) and evaluate the batch through a
+//!   tier-local [`rambo_core::QueryBatch`], so the LRU per-term
+//!   bucket-mask memo and the query scratch amortize across concurrent
+//!   clients — sequence workloads share most terms between adjacent
+//!   requests. Hysteresis (a quiet-streak plus a live-traffic cooldown)
+//!   keeps the gate from thrashing; both paths share one evaluator, so
+//!   results are bit-identical either way. Backpressure is explicit
+//!   ([`ServerError::Overloaded`]), deadlines are enforced on both sides
+//!   of the queue, and shutdown is structural: leaving [`Server::scope`]
+//!   drains and joins everything, returning a final [`ServerStats`]
+//!   snapshot of per-tier latency/throughput/hit/scheduler-decision
+//!   counters and the slow-query log ([`SlowQuery`]).
+//! * [`ResultCache`] — a sharded, byte-bounded LRU over answered queries,
+//!   keyed by `(tier, canonical term-set key)` and invalidated by a
+//!   catalog version stamp: hot §3.3.1 sequence windows are answered
+//!   without touching an evaluator at all.
 //! * [`serve_tcp`] — an optional length-prefixed TCP front over
-//!   `std::net`, with [`TcpClient`] as the matching blocking client.
+//!   `std::net`, with [`TcpClient`] as the matching blocking client. The
+//!   listener is a single **non-blocking poll loop**: a stalled client is
+//!   timed out and aborted mid-frame instead of parking a server thread,
+//!   and a plain-text `STATS` frame exposes live counters.
 //!
 //! Every tier evaluator probes through the runtime-dispatched SIMD kernels
 //! of [`rambo_core::kernel`] (re-exported here as [`KernelBackend`] /
@@ -63,16 +78,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod catalog;
 mod scheduler;
 mod server;
 mod stats;
 mod tcp;
 
+pub use cache::{CacheStats, ResultCache};
 pub use catalog::{Catalog, TierInfo};
 pub use rambo_core::kernel::{Backend as KernelBackend, Kernel};
 pub use server::{
-    PendingReply, QueryOptions, QueryReply, Server, ServerConfig, ServerError, ServerHandle,
+    PendingReply, QueryOptions, QueryReply, SchedulerMode, Server, ServerConfig, ServerError,
+    ServerHandle,
 };
-pub use stats::{ServerStats, TierStats};
+pub use stats::{ServerStats, SlowQuery, TierStats};
 pub use tcp::{serve_tcp, TcpClient, TcpClientError};

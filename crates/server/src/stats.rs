@@ -1,31 +1,52 @@
-//! Per-tier serving counters and their exported snapshot.
+//! Per-tier serving counters, the slow-query log, and their exported
+//! snapshot.
 //!
 //! Workers and the admission path record into lock-free atomics (one relaxed
 //! increment per event, a [`LatencyHistogram`] bucket bump per completion);
 //! [`ServerStats`] is the read side — a plain-data snapshot safe to take
-//! while the server runs and returned after it drains.
+//! while the server runs and returned after it drains. The slow-query log is
+//! the one non-atomic recorder: a small mutex-guarded keep-the-worst buffer
+//! whose fast path (request faster than the current floor) is a single
+//! relaxed load.
 
+use crate::cache::CacheStats;
 use crate::catalog::TierInfo;
 use rambo_workloads::stats::LatencyHistogram;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Live counters for one tier lane. All increments are relaxed: counters are
 /// monotone event counts with no cross-counter invariant to order.
 #[derive(Debug, Default)]
 pub(crate) struct TierCounters {
-    /// Requests admitted to the tier's queue.
+    /// Requests admitted (queued or evaluated inline).
     pub accepted: AtomicU64,
     /// Requests rejected at admission (queue full → `Overloaded`).
     pub rejected: AtomicU64,
-    /// Requests evaluated and answered.
+    /// Requests evaluated and answered (inline, batched or from cache).
     pub completed: AtomicU64,
     /// Requests dropped unevaluated because their deadline had passed by the
-    /// time a worker dequeued them.
+    /// time a worker dequeued them (or the inline path reached them).
     pub expired: AtomicU64,
-    /// Micro-batches evaluated (`completed + expired` over `batches` gives
-    /// the mean batch size).
+    /// Micro-batches evaluated.
     pub batches: AtomicU64,
+    /// Requests that went through the batch path (batched / batches gives
+    /// the mean batch size; inline and cache-hit completions never inflate
+    /// it).
+    pub batched: AtomicU64,
+    /// Requests the adaptive scheduler evaluated inline on the admitting
+    /// thread, bypassing the queue.
+    pub inline: AtomicU64,
+    /// Requests answered from the result cache without any evaluation.
+    pub cache_hits: AtomicU64,
+    /// Inline→batch mode transitions (queue depth crossed the threshold).
+    pub switched_to_batch: AtomicU64,
+    /// Batch→inline mode transitions (queue drained back down).
+    pub switched_to_inline: AtomicU64,
+    /// Highest instantaneous queue depth observed at admission.
+    pub queue_depth_max: AtomicU64,
     /// Total documents returned (hit counter).
     pub hits: AtomicU64,
     /// Submit→completion latency of answered requests.
@@ -37,10 +58,31 @@ impl TierCounters {
         Self::default()
     }
 
+    /// Zero every counter (monitoring-window boundary). Not atomic across
+    /// counters; concurrent recording simply lands in the new window.
+    pub(crate) fn clear(&self) {
+        for c in [
+            &self.accepted,
+            &self.rejected,
+            &self.completed,
+            &self.expired,
+            &self.batches,
+            &self.batched,
+            &self.inline,
+            &self.cache_hits,
+            &self.switched_to_batch,
+            &self.switched_to_inline,
+            &self.queue_depth_max,
+            &self.hits,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.latency.clear();
+    }
+
     pub(crate) fn snapshot(&self, info: &TierInfo) -> TierStats {
-        let completed = self.completed.load(Ordering::Relaxed);
-        let expired = self.expired.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched.load(Ordering::Relaxed);
         TierStats {
             tier: info.tier,
             buckets: info.buckets,
@@ -48,14 +90,20 @@ impl TierCounters {
             size_bytes: info.size_bytes,
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
-            completed,
-            expired,
+            completed: self.completed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             batches,
+            batched,
             mean_batch: if batches == 0 {
                 0.0
             } else {
-                (completed + expired) as f64 / batches as f64
+                batched as f64 / batches as f64
             },
+            inline_completed: self.inline.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            switched_to_batch: self.switched_to_batch.load(Ordering::Relaxed),
+            switched_to_inline: self.switched_to_inline.load(Ordering::Relaxed),
+            max_queue_depth: self.queue_depth_max.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             mean: self.latency.mean(),
             p50: self.latency.quantile(0.50),
@@ -76,18 +124,31 @@ pub struct TierStats {
     pub predicted_fpr: f64,
     /// In-memory payload size of the tier.
     pub size_bytes: usize,
-    /// Requests admitted to the queue.
+    /// Requests admitted (queued or evaluated inline).
     pub accepted: u64,
     /// Requests rejected with `Overloaded`.
     pub rejected: u64,
-    /// Requests evaluated and answered.
+    /// Requests evaluated and answered (inline, batched or from cache).
     pub completed: u64,
     /// Requests dropped past their deadline without evaluation.
     pub expired: u64,
     /// Micro-batches evaluated.
     pub batches: u64,
-    /// Mean requests per micro-batch.
+    /// Requests that went through the batch path.
+    pub batched: u64,
+    /// Mean requests per micro-batch (batch-path requests only).
     pub mean_batch: f64,
+    /// Requests the adaptive scheduler evaluated inline, bypassing the
+    /// queue entirely.
+    pub inline_completed: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Inline→batch scheduler transitions.
+    pub switched_to_batch: u64,
+    /// Batch→inline scheduler transitions.
+    pub switched_to_inline: u64,
+    /// Highest instantaneous queue depth observed at admission.
+    pub max_queue_depth: u64,
     /// Total documents returned.
     pub hits: u64,
     /// Mean submit→completion latency.
@@ -100,11 +161,115 @@ pub struct TierStats {
     pub max: Duration,
 }
 
-/// Snapshot of every tier's counters, tier 0 first.
+/// One entry of the slow-query log: where the worst requests spent their
+/// time. `queue_wait` vs `eval` splits scheduling debt from evaluation
+/// cost — a log full of long waits wants more workers (or a lower batch
+/// threshold); long evals want a smaller tier or fewer terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Tier that served the request.
+    pub tier: usize,
+    /// Number of query terms (as submitted, before dedup).
+    pub terms: usize,
+    /// Submission → dequeue (zero for inline and cache-hit completions).
+    pub queue_wait: Duration,
+    /// Evaluation time proper.
+    pub eval: Duration,
+    /// Submission → completion.
+    pub total: Duration,
+    /// True when the request went through the micro-batch path.
+    pub batched: bool,
+}
+
+/// Keep-the-worst ring of the `cap` highest-latency requests.
+///
+/// Recording is O(cap) only when the new request actually displaces an
+/// entry; the common case — a request faster than the slowest retained one
+/// while the log is full — is rejected by a single relaxed atomic load of
+/// the current floor.
+#[derive(Debug)]
+pub(crate) struct SlowQueryLog {
+    cap: usize,
+    /// Smallest `total` (ns) in a *full* log; 0 while the log has room, so
+    /// the fast path never rejects a request that would fit.
+    floor_ns: AtomicU64,
+    entries: Mutex<Vec<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            floor_ns: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    pub(crate) fn record(&self, entry: SlowQuery) {
+        if self.cap == 0 {
+            return;
+        }
+        let total_ns = u64::try_from(entry.total.as_nanos()).unwrap_or(u64::MAX);
+        if total_ns <= self.floor_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow-query log");
+        if entries.len() < self.cap {
+            entries.push(entry);
+        } else {
+            let (slot, floor) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.total)
+                .map(|(i, e)| (i, e.total))
+                .expect("full log is non-empty");
+            if entry.total <= floor {
+                return; // raced below the floor between load and lock
+            }
+            entries[slot] = entry;
+        }
+        if entries.len() == self.cap {
+            let floor = entries.iter().map(|e| e.total).min().expect("non-empty");
+            self.floor_ns.store(
+                u64::try_from(floor.as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Forget every retained entry (monitoring-window boundary).
+    pub(crate) fn clear(&self) {
+        let mut entries = self.entries.lock().expect("slow-query log");
+        entries.clear();
+        self.floor_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// The retained entries, worst first.
+    pub(crate) fn snapshot(&self) -> Vec<SlowQuery> {
+        let mut entries = self.entries.lock().expect("slow-query log").clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.total));
+        entries
+    }
+}
+
+/// Snapshot of every tier's counters, tier 0 first, plus the slow-query log
+/// and (when enabled) the result-cache counters.
 #[derive(Debug, Clone)]
 pub struct ServerStats {
     /// Per-tier counters.
     pub tiers: Vec<TierStats>,
+    /// The worst-latency requests observed, worst first (empty when the log
+    /// is disabled).
+    pub slow_queries: Vec<SlowQuery>,
+    /// Result-cache counters; `None` when the cache is disabled.
+    pub cache: Option<CacheStats>,
+    /// Submit→completion latency aggregated over every tier (bucket-exact
+    /// merge of the per-tier histograms). This is the serving boundary:
+    /// queue wait and evaluation are inside, the client's wake-up is not —
+    /// which is what makes it comparable across scheduler designs on an
+    /// oversubscribed host, where client-side tails measure the OS
+    /// scheduler instead.
+    pub latency: LatencyHistogram,
 }
 
 impl ServerStats {
@@ -124,5 +289,132 @@ impl ServerStats {
     #[must_use]
     pub fn total_batches(&self) -> u64 {
         self.tiers.iter().map(|t| t.batches).sum()
+    }
+
+    /// Total inline (queue-bypass) completions across tiers.
+    #[must_use]
+    pub fn total_inline(&self) -> u64 {
+        self.tiers.iter().map(|t| t.inline_completed).sum()
+    }
+
+    /// Total result-cache hits across tiers.
+    #[must_use]
+    pub fn total_cache_hits(&self) -> u64 {
+        self.tiers.iter().map(|t| t.cache_hits).sum()
+    }
+}
+
+/// Plain-text rendering — one line per tier, one for the cache, one per
+/// slow-query entry. This is the payload of the TCP front's `STATS` frame.
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tiers {
+            writeln!(
+                f,
+                "tier {}: buckets={} fpr={:.3e} accepted={} rejected={} completed={} \
+                 expired={} inline={} cache_hits={} batched={} batches={} mean_batch={:.2} \
+                 switches(batch/inline)={}/{} depth_max={} docs={}",
+                t.tier,
+                t.buckets,
+                t.predicted_fpr,
+                t.accepted,
+                t.rejected,
+                t.completed,
+                t.expired,
+                t.inline_completed,
+                t.cache_hits,
+                t.batched,
+                t.batches,
+                t.mean_batch,
+                t.switched_to_batch,
+                t.switched_to_inline,
+                t.max_queue_depth,
+                t.hits,
+            )?;
+            writeln!(
+                f,
+                "tier {}: latency mean={}us p50={}us p99={}us max={}us",
+                t.tier,
+                t.mean.as_micros(),
+                t.p50.as_micros(),
+                t.p99.as_micros(),
+                t.max.as_micros(),
+            )?;
+        }
+        writeln!(
+            f,
+            "overall: latency mean={}us p50={}us p99={}us max={}us",
+            self.latency.mean().as_micros(),
+            self.latency.quantile(0.50).as_micros(),
+            self.latency.quantile(0.99).as_micros(),
+            self.latency.max().as_micros(),
+        )?;
+        match &self.cache {
+            Some(c) => writeln!(
+                f,
+                "cache: hits={} misses={} hit_ratio={:.3} insertions={} evictions={} \
+                 stale={} bytes={}/{} version={}",
+                c.counters.hits,
+                c.counters.misses,
+                c.hit_ratio(),
+                c.counters.insertions,
+                c.counters.evictions,
+                c.counters.stale,
+                c.counters.bytes,
+                c.capacity_bytes,
+                c.version,
+            )?,
+            None => writeln!(f, "cache: disabled")?,
+        }
+        for (i, q) in self.slow_queries.iter().enumerate() {
+            writeln!(
+                f,
+                "slow {i}: tier={} terms={} wait={}us eval={}us total={}us batched={}",
+                q.tier,
+                q.terms,
+                q.queue_wait.as_micros(),
+                q.eval.as_micros(),
+                q.total.as_micros(),
+                q.batched,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_us: u64) -> SlowQuery {
+        SlowQuery {
+            tier: 0,
+            terms: 3,
+            queue_wait: Duration::ZERO,
+            eval: Duration::from_micros(total_us),
+            total: Duration::from_micros(total_us),
+            batched: false,
+        }
+    }
+
+    #[test]
+    fn slow_log_keeps_the_worst_n() {
+        let log = SlowQueryLog::new(3);
+        for us in [10, 50, 20, 5, 80, 40, 1] {
+            log.record(entry(us));
+        }
+        let worst: Vec<u64> = log
+            .snapshot()
+            .iter()
+            .map(|e| e.total.as_micros() as u64)
+            .collect();
+        assert_eq!(worst, vec![80, 50, 40]);
+    }
+
+    #[test]
+    fn slow_log_disabled_records_nothing() {
+        let log = SlowQueryLog::new(0);
+        log.record(entry(100));
+        assert!(log.snapshot().is_empty());
     }
 }

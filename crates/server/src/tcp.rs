@@ -1,4 +1,5 @@
-//! Length-prefixed TCP front over the in-process serving engine.
+//! Non-blocking, length-prefixed TCP front over the in-process serving
+//! engine.
 //!
 //! Wire format (all little-endian):
 //!
@@ -8,17 +9,32 @@
 //!             | u32 n_terms | n_terms × u64
 //! response := u32 len | u8 status | u32 tier | u32 n_docs | n_docs × u32
 //! status   := 0 ok | 1 overloaded | 2 deadline exceeded | 3 bad request
+//!
+//! stats-request  := u32 len(=1) | u8 opcode(=2)
+//! stats-response := u32 len | u8 status(=0) | utf8 text
 //! ```
 //!
 //! `len` counts the bytes after the length field. One connection carries any
 //! number of request/response pairs in order; closing the write side (or the
-//! whole socket) ends the session. The accept loop and per-connection
-//! handlers are scoped threads, so [`serve_tcp`] returns only after every
-//! connection has drained — pair it with the [`crate::Server::scope`]
-//! lifetime and a stop flag for clean shutdown.
+//! whole socket) ends the session. The `STATS` opcode dumps the live
+//! [`crate::ServerStats`] (tier counters, result-cache counters, slow-query
+//! log) as plain text — `printf`-debuggable with `nc`.
+//!
+//! [`serve_tcp`] is a single-threaded **readiness reactor**, not a
+//! thread-per-connection accept loop: every socket is non-blocking, and one
+//! thread multiplexes accepts, frame decode, admission (through the same
+//! [`ServerHandle`] the in-process API uses — quiet lanes answer inline
+//! during the dispatch call itself), reply polling
+//! ([`crate::PendingReply::try_wait`]) and writes across all connections.
+//! Thousands of idle clients cost a few hundred bytes of buffer each, not a
+//! pinned thread. Replies on one connection always flow in request order.
+//! When `stop` is raised the reactor returns promptly, dropping every
+//! connection — including ones stalled mid-frame, which therefore cannot
+//! block shutdown.
 
-use crate::server::{QueryOptions, QueryReply, ServerError, ServerHandle};
+use crate::server::{PendingReply, QueryOptions, QueryReply, ServerError, ServerHandle};
 use rambo_core::QueryMode;
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,167 +43,301 @@ use std::time::Duration;
 /// Upper bound on a frame payload (16 MiB ≈ two million query terms): a
 /// corrupt or hostile length prefix must not become an allocation.
 const MAX_FRAME_BYTES: usize = 16 << 20;
-/// How often blocked reads wake to check the stop flag.
-const STOP_POLL: Duration = Duration::from_millis(25);
+
+const OPCODE_QUERY: u8 = 1;
+const OPCODE_STATS: u8 = 2;
 
 const STATUS_OK: u8 = 0;
 const STATUS_OVERLOADED: u8 = 1;
 const STATUS_DEADLINE: u8 = 2;
 const STATUS_BAD_REQUEST: u8 = 3;
 
-/// Serve the handle over TCP until `stop` is set. Each accepted connection
-/// gets a scoped handler thread; the function returns after the accept loop
-/// stops and every handler has finished. Once `stop` is set, idle
-/// connections close at their next poll and connections stalled mid-frame
-/// are aborted (a dead client must not be able to block shutdown).
+/// Reactor nap with replies in flight: short, so a worker's answer is
+/// picked up within ~a batch collection window.
+const REACTOR_BUSY_SLEEP: Duration = Duration::from_micros(50);
+/// Reactor nap with nothing in flight: the stop-flag/accept poll cadence.
+const REACTOR_IDLE_SLEEP: Duration = Duration::from_millis(1);
+/// Per-read chunk size.
+const READ_CHUNK: usize = 16 << 10;
+/// Per-connection cap on decoded-but-unanswered frames: a client that
+/// pipelines faster than the server drains stops being read (TCP
+/// backpressure) instead of growing an unbounded reply queue.
+const MAX_PIPELINED: usize = 1024;
+
+/// A reply owed to the client, in request order.
+enum PendingFrame {
+    /// Already encoded (errors, stats dumps, inline/cached completions).
+    Ready(Vec<u8>),
+    /// Waiting on an evaluator worker.
+    Query(PendingReply),
+}
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: TcpStream,
+    /// Raw bytes read but not yet parsed into frames.
+    inbuf: Vec<u8>,
+    /// Replies owed, in request order.
+    pending: VecDeque<PendingFrame>,
+    /// Encoded bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written.
+    sent: usize,
+    /// Close after flushing what is owed (protocol error path).
+    closing: bool,
+    /// Peer closed its write side.
+    read_closed: bool,
+    /// Ready to be dropped.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            outbuf: Vec::new(),
+            sent: 0,
+            closing: false,
+            read_closed: false,
+            dead: false,
+        })
+    }
+}
+
+/// Serve the handle over TCP until `stop` is set, multiplexing every
+/// connection on the calling thread (see the module docs for the reactor
+/// design). Returns after the stop flag is observed; all connections —
+/// idle, mid-frame, or stalled — are dropped at that point, so a dead
+/// client can never block shutdown.
 ///
 /// # Errors
 /// Propagates listener configuration errors and fatal accept failures (the
-/// latter also raise `stop`, so live handlers wind down instead of serving
-/// a listener-less process forever); per-connection I/O errors only end
-/// that connection.
+/// latter also raise `stop`, so a co-running in-process workload winds down
+/// instead of serving a listener-less process forever); per-connection I/O
+/// errors only end that connection.
 pub fn serve_tcp(
     handle: &ServerHandle<'_>,
     listener: TcpListener,
     stop: &AtomicBool,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
-    std::thread::scope(|scope| {
-        while !stop.load(Ordering::Relaxed) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let mut progress = false;
+        // Drain the accept backlog.
+        loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    scope.spawn(move || {
-                        // Connection errors are not server errors.
-                        let _ = handle_connection(handle, stream, stop);
-                    });
+                    if let Ok(conn) = Conn::new(stream) {
+                        conns.push(conn);
+                        progress = true;
+                    }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(STOP_POLL);
-                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => {
                     stop.store(true, Ordering::Relaxed);
                     return Err(e);
                 }
             }
         }
-        Ok(())
-    })
-}
-
-/// Serve one connection: read frames, answer them in order, stop at EOF or
-/// when `stop` is set between frames.
-fn handle_connection(
-    handle: &ServerHandle<'_>,
-    mut stream: TcpStream,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(STOP_POLL))?;
-    let mut payload = Vec::new();
-    loop {
-        let Some(len) = read_frame_len(&mut stream, stop)? else {
-            return Ok(()); // clean EOF or stop
-        };
-        if len > MAX_FRAME_BYTES {
-            write_response(&mut stream, STATUS_BAD_REQUEST, 0, &[])?;
-            return Ok(());
+        for conn in &mut conns {
+            progress |= pump(conn, handle);
         }
-        payload.resize(len, 0);
-        read_exact_patient(&mut stream, &mut payload, stop)?;
-        match parse_request(&payload) {
-            None => {
-                // A frame that fails to parse may have desynchronized the
-                // stream; answer and close rather than guess at recovery.
-                write_response(&mut stream, STATUS_BAD_REQUEST, 0, &[])?;
-                return Ok(());
-            }
-            Some((terms, opts)) => match handle.query_opts(&terms, &opts) {
-                Ok(QueryReply { docs, tier }) => {
-                    write_response(&mut stream, STATUS_OK, tier as u32, &docs)?;
-                }
-                Err(ServerError::Overloaded { tier }) => {
-                    write_response(&mut stream, STATUS_OVERLOADED, tier as u32, &[])?;
-                }
-                Err(ServerError::DeadlineExceeded { tier }) => {
-                    write_response(&mut stream, STATUS_DEADLINE, tier as u32, &[])?;
-                }
-                Err(ServerError::UnknownTier(_) | ServerError::Disconnected) => {
-                    write_response(&mut stream, STATUS_BAD_REQUEST, 0, &[])?;
-                    return Ok(());
-                }
-            },
-        }
-    }
-}
-
-/// Read the 4-byte frame length, tolerating read timeouts between frames.
-/// Returns `None` on clean EOF before any byte, or when `stop` is set while
-/// idle.
-fn read_frame_len(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<usize>> {
-    let mut buf = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        match stream.read(&mut buf[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Ok(None)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => got += n,
-            Err(e) if is_timeout(&e) => {
-                // Idle between frames: the stop flag ends the session
-                // cleanly. Mid-prefix: keep waiting while serving, but a
-                // stalled sender must not outlive shutdown.
-                if stop.load(Ordering::Relaxed) {
-                    return if got == 0 { Ok(None) } else { Err(aborted()) };
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(Some(u32::from_le_bytes(buf) as usize))
-}
-
-/// `read_exact` that retries through the read-timeout wakeups — until
-/// `stop` is set, at which point a stalled sender is aborted so shutdown
-/// can join the handler.
-fn read_exact_patient(
-    stream: &mut TcpStream,
-    mut buf: &mut [u8],
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    while !buf.is_empty() {
-        match stream.read(buf) {
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => buf = &mut buf[n..],
-            Err(e) if is_timeout(&e) => {
-                if stop.load(Ordering::Relaxed) {
-                    return Err(aborted());
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+        conns.retain(|c| !c.dead);
+        if !progress {
+            let inflight = conns.iter().any(|c| !c.pending.is_empty());
+            std::thread::sleep(if inflight {
+                REACTOR_BUSY_SLEEP
+            } else {
+                REACTOR_IDLE_SLEEP
+            });
         }
     }
     Ok(())
 }
 
-/// The error a mid-frame connection is cut off with during shutdown.
-fn aborted() -> io::Error {
-    io::Error::new(
-        io::ErrorKind::ConnectionAborted,
-        "connection aborted by server shutdown",
-    )
+/// One reactor pass over a connection: read what is available, decode and
+/// dispatch complete frames, poll owed replies in order, write what is
+/// flushed. Returns true when any byte or frame moved.
+fn pump(conn: &mut Conn, handle: &ServerHandle<'_>) -> bool {
+    let mut progress = false;
+
+    // Read until the socket runs dry — but stop decoding ahead of a client
+    // that has MAX_PIPELINED answers outstanding (backpressure by unread
+    // socket, mirroring the admission queue's own bound).
+    while !conn.read_closed
+        && !conn.closing
+        && !conn.dead
+        && conn.pending.len() < MAX_PIPELINED
+        && conn.inbuf.len() < MAX_FRAME_BYTES + 4
+    {
+        let start = conn.inbuf.len();
+        conn.inbuf.resize(start + READ_CHUNK, 0);
+        match conn.stream.read(&mut conn.inbuf[start..]) {
+            Ok(0) => {
+                conn.inbuf.truncate(start);
+                conn.read_closed = true;
+            }
+            Ok(n) => {
+                conn.inbuf.truncate(start + n);
+                progress = true;
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.inbuf.truncate(start),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                conn.inbuf.truncate(start);
+                continue;
+            }
+            Err(_) => {
+                conn.inbuf.truncate(start);
+                conn.dead = true;
+                return progress;
+            }
+        }
+        break;
+    }
+
+    // Decode complete frames and dispatch them.
+    let mut consumed = 0;
+    while !conn.closing && conn.pending.len() < MAX_PIPELINED {
+        let avail = &conn.inbuf[consumed..];
+        if avail.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            conn.pending.push_back(PendingFrame::Ready(encode_response(
+                STATUS_BAD_REQUEST,
+                0,
+                &[],
+            )));
+            conn.closing = true;
+            break;
+        }
+        if avail.len() < 4 + len {
+            break;
+        }
+        dispatch(conn, handle, consumed + 4, len);
+        consumed += 4 + len;
+        progress = true;
+    }
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+
+    // Poll owed replies strictly in request order.
+    while let Some(front) = conn.pending.front_mut() {
+        let frame = match front {
+            PendingFrame::Ready(bytes) => std::mem::take(bytes),
+            PendingFrame::Query(reply) => match reply.try_wait() {
+                None => break,
+                Some(Ok(QueryReply { docs, tier })) => {
+                    encode_response(STATUS_OK, tier as u32, &docs)
+                }
+                Some(Err(ServerError::Overloaded { tier })) => {
+                    encode_response(STATUS_OVERLOADED, tier as u32, &[])
+                }
+                Some(Err(ServerError::DeadlineExceeded { tier })) => {
+                    encode_response(STATUS_DEADLINE, tier as u32, &[])
+                }
+                Some(Err(ServerError::UnknownTier(_) | ServerError::Disconnected)) => {
+                    conn.closing = true;
+                    encode_response(STATUS_BAD_REQUEST, 0, &[])
+                }
+            },
+        };
+        conn.outbuf.extend_from_slice(&frame);
+        conn.pending.pop_front();
+        progress = true;
+    }
+
+    // Write what the socket will take.
+    while conn.sent < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.sent..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return progress;
+            }
+            Ok(n) => {
+                conn.sent += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return progress;
+            }
+        }
+    }
+    if conn.sent == conn.outbuf.len() && conn.sent > 0 {
+        conn.outbuf.clear();
+        conn.sent = 0;
+    }
+
+    // Close once everything owed is flushed: after a protocol error
+    // (`closing`) or once a half-closed peer has received its last reply.
+    let flushed = conn.pending.is_empty() && conn.sent == conn.outbuf.len();
+    if flushed && (conn.closing || conn.read_closed) {
+        conn.dead = true;
+    }
+    progress
 }
 
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+/// Dispatch one complete frame (`len` bytes at `offset` in the inbuf).
+fn dispatch(conn: &mut Conn, handle: &ServerHandle<'_>, offset: usize, len: usize) {
+    let payload = &conn.inbuf[offset..offset + len];
+    if len == 1 && payload[0] == OPCODE_STATS {
+        let text = handle.stats().to_string();
+        let mut frame = Vec::with_capacity(4 + 1 + text.len());
+        frame.extend_from_slice(&(1 + text.len() as u32).to_le_bytes());
+        frame.push(STATUS_OK);
+        frame.extend_from_slice(text.as_bytes());
+        conn.pending.push_back(PendingFrame::Ready(frame));
+        return;
+    }
+    match parse_request(payload) {
+        None => {
+            // A frame that fails to parse may have desynchronized the
+            // stream; answer and close rather than guess at recovery.
+            conn.pending.push_back(PendingFrame::Ready(encode_response(
+                STATUS_BAD_REQUEST,
+                0,
+                &[],
+            )));
+            conn.closing = true;
+        }
+        Some((terms, opts)) => match handle.submit(&terms, &opts) {
+            Ok(reply) => conn.pending.push_back(PendingFrame::Query(reply)),
+            Err(ServerError::Overloaded { tier }) => {
+                conn.pending.push_back(PendingFrame::Ready(encode_response(
+                    STATUS_OVERLOADED,
+                    tier as u32,
+                    &[],
+                )));
+            }
+            Err(ServerError::DeadlineExceeded { tier }) => {
+                conn.pending.push_back(PendingFrame::Ready(encode_response(
+                    STATUS_DEADLINE,
+                    tier as u32,
+                    &[],
+                )));
+            }
+            Err(ServerError::UnknownTier(_) | ServerError::Disconnected) => {
+                conn.pending.push_back(PendingFrame::Ready(encode_response(
+                    STATUS_BAD_REQUEST,
+                    0,
+                    &[],
+                )));
+                conn.closing = true;
+            }
+        },
+    }
 }
 
 /// Decode a request payload into terms and options.
@@ -202,7 +352,7 @@ fn parse_request(payload: &[u8]) -> Option<(Vec<u64>, QueryOptions)> {
         2 => Some(QueryMode::Sparse),
         _ => return None,
     };
-    if opcode != 1 || payload[2] != 0 || payload[3] != 0 {
+    if opcode != OPCODE_QUERY || payload[2] != 0 || payload[3] != 0 {
         return None;
     }
     let fpr_budget = f64::from_le_bytes(payload[4..12].try_into().ok()?);
@@ -232,8 +382,8 @@ fn parse_request(payload: &[u8]) -> Option<(Vec<u64>, QueryOptions)> {
     Some((terms, opts))
 }
 
-/// Encode and send one response frame.
-fn write_response(stream: &mut TcpStream, status: u8, tier: u32, docs: &[u32]) -> io::Result<()> {
+/// Encode one response frame.
+fn encode_response(status: u8, tier: u32, docs: &[u32]) -> Vec<u8> {
     let len = 1 + 4 + 4 + docs.len() * 4;
     let mut frame = Vec::with_capacity(4 + len);
     frame.extend_from_slice(&(len as u32).to_le_bytes());
@@ -243,7 +393,7 @@ fn write_response(stream: &mut TcpStream, status: u8, tier: u32, docs: &[u32]) -
     for &d in docs {
         frame.extend_from_slice(&d.to_le_bytes());
     }
-    stream.write_all(&frame)
+    frame
 }
 
 /// Client-side error for [`TcpClient`].
@@ -331,7 +481,7 @@ impl TcpClient {
         let len = 20 + terms.len() * 8;
         let mut frame = Vec::with_capacity(4 + len);
         frame.extend_from_slice(&(len as u32).to_le_bytes());
-        frame.push(1); // opcode: query
+        frame.push(OPCODE_QUERY);
         frame.push(match mode {
             None => 0,
             Some(QueryMode::Full) => 1,
@@ -346,16 +496,13 @@ impl TcpClient {
         }
         self.stream.write_all(&frame)?;
 
-        let mut len_buf = [0u8; 4];
-        self.stream.read_exact(&mut len_buf)?;
-        let len = u32::from_le_bytes(len_buf) as usize;
-        if !(9..=MAX_FRAME_BYTES).contains(&len) {
+        let payload = self.read_frame()?;
+        if payload.len() < 9 {
             return Err(TcpClientError::Protocol(format!(
-                "response frame length {len} out of range"
+                "response frame length {} out of range",
+                payload.len()
             )));
         }
-        let mut payload = vec![0u8; len];
-        self.stream.read_exact(&mut payload)?;
         let status = payload[0];
         let tier = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
         let n_docs = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as usize;
@@ -390,5 +537,41 @@ impl TcpClient {
             .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
             .collect();
         Ok(QueryReply { docs, tier })
+    }
+
+    /// Fetch the server's plain-text stats dump (the `STATS` opcode): tier
+    /// counters, result-cache counters and the slow-query log.
+    ///
+    /// # Errors
+    /// [`TcpClientError::Io`]/[`TcpClientError::Protocol`] on transport or
+    /// framing failures.
+    pub fn stats(&mut self) -> Result<String, TcpClientError> {
+        let mut frame = Vec::with_capacity(5);
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.push(OPCODE_STATS);
+        self.stream.write_all(&frame)?;
+        let payload = self.read_frame()?;
+        if payload.is_empty() || payload[0] != STATUS_OK {
+            return Err(TcpClientError::Protocol(
+                "server rejected the stats request".into(),
+            ));
+        }
+        String::from_utf8(payload[1..].to_vec())
+            .map_err(|_| TcpClientError::Protocol("stats dump is not UTF-8".into()))
+    }
+
+    /// Read one length-prefixed frame payload.
+    fn read_frame(&mut self) -> Result<Vec<u8>, TcpClientError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(1..=MAX_FRAME_BYTES).contains(&len) {
+            return Err(TcpClientError::Protocol(format!(
+                "response frame length {len} out of range"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        Ok(payload)
     }
 }

@@ -4,7 +4,8 @@
 
 use rambo_core::{QueryContext, QueryMode, Rambo, RamboParams};
 use rambo_server::{
-    serve_tcp, Catalog, QueryOptions, Server, ServerConfig, ServerError, TcpClient, TcpClientError,
+    serve_tcp, Catalog, QueryOptions, SchedulerMode, Server, ServerConfig, ServerError, TcpClient,
+    TcpClientError,
 };
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -123,10 +124,15 @@ fn sparse_mode_and_explicit_tier_override() {
 fn concurrent_clients_get_batched() {
     let index = build_index(16, 40, 3);
     let catalog = Catalog::build_halving(&index, 0).unwrap();
+    // Pin always-batch and disable the result cache: this test asserts the
+    // *batching machinery* coalesces, so neither the adaptive inline bypass
+    // nor cache hits may short-circuit the queue.
     let config = ServerConfig {
         max_batch: 8,
         max_delay: Duration::from_millis(5),
         workers_per_tier: 1,
+        scheduler: SchedulerMode::AlwaysBatch,
+        result_cache_bytes: 0,
         ..ServerConfig::default()
     };
     let n_clients = 4;
@@ -170,10 +176,14 @@ fn overload_rejects_when_the_queue_is_full() {
         .insert_document("big", slow_terms.iter().copied())
         .unwrap();
     let catalog = Catalog::build_halving(&index, 0).unwrap();
+    // Pin always-batch: under the adaptive scheduler the slow query would
+    // evaluate inline on the submitting thread and the queue would never
+    // fill — this test exercises the queue-full backpressure path.
     let config = ServerConfig {
         max_batch: 1, // no collection loop: the worker is either evaluating or idle
         queue_capacity: 2,
         workers_per_tier: 1,
+        scheduler: SchedulerMode::AlwaysBatch,
         ..ServerConfig::default()
     };
     let ((accepted, rejected), stats) = Server::scope(&catalog, config, |handle| {
@@ -320,6 +330,273 @@ fn tcp_rejects_malformed_frames_without_dying() {
             assert!(matches!(err, Err(TcpClientError::Protocol(_))));
             stop.store(true, Ordering::Relaxed);
             server.join().unwrap().unwrap();
+        });
+    });
+}
+
+#[test]
+fn inline_path_is_bit_identical_to_batched_path() {
+    let index = build_index(16, 30, 10);
+    let catalog = Catalog::build_halving(&index, 1).unwrap();
+    let queries = query_load(30);
+    // Forced-inline arm: an unreachable batch threshold keeps every request
+    // on the admitting thread. Forced-batch arm: the pre-adaptive path.
+    // Cache off on both so every reply is a fresh evaluation.
+    let run = |scheduler: SchedulerMode| {
+        let config = ServerConfig {
+            workers_per_tier: 1,
+            scheduler,
+            result_cache_bytes: 0,
+            ..ServerConfig::default()
+        };
+        Server::scope(&catalog, config, |handle| {
+            queries
+                .iter()
+                .flat_map(|q| {
+                    (0..catalog.len()).map(|t| {
+                        handle
+                            .query_opts(
+                                q,
+                                &QueryOptions {
+                                    tier: Some(t),
+                                    deadline: Duration::from_secs(5),
+                                    ..QueryOptions::default()
+                                },
+                            )
+                            .unwrap()
+                            .docs
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let (inline_docs, inline_stats) = run(SchedulerMode::Adaptive {
+        batch_above: usize::MAX,
+        inline_below: 0,
+    });
+    let (batched_docs, batched_stats) = run(SchedulerMode::AlwaysBatch);
+    assert_eq!(inline_docs, batched_docs, "inline and batched paths differ");
+    let total = (queries.len() * catalog.len()) as u64;
+    assert_eq!(inline_stats.total_inline(), total, "not all inline");
+    assert_eq!(inline_stats.total_batches(), 0);
+    assert_eq!(batched_stats.total_inline(), 0, "always-batch went inline");
+    assert_eq!(batched_stats.total_completed(), total);
+}
+
+#[test]
+fn adaptive_scheduler_switches_to_batching_under_load() {
+    // One huge-term-set document: queries over all its terms evaluate for
+    // many milliseconds, so the inline lock stays held while fast queries
+    // pile into the queue and trip the batching threshold.
+    let slow_terms: Vec<u64> = (0..200_000u64).collect();
+    let mut index = Rambo::new(RamboParams::flat(8, 3, 1 << 16, 2, 11)).unwrap();
+    index
+        .insert_document("big", slow_terms.iter().copied())
+        .unwrap();
+    let catalog = Catalog::build_halving(&index, 0).unwrap();
+    let config = ServerConfig {
+        workers_per_tier: 1,
+        max_batch: 8,
+        scheduler: SchedulerMode::Adaptive {
+            batch_above: 2,
+            inline_below: 0,
+        },
+        result_cache_bytes: 0,
+        ..ServerConfig::default()
+    };
+    let (_, stats) = Server::scope(&catalog, config, |handle| {
+        std::thread::scope(|s| {
+            // Thread A grabs the inline evaluator for a long evaluation.
+            let slow = &slow_terms;
+            let handle_a = &handle;
+            s.spawn(move || {
+                handle_a.query(slow, 0.0, Duration::from_secs(30)).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(5));
+            // Contended admissions fall through to the queue. The first is
+            // another slow query so the worker stays busy while the fast
+            // ones stack up past the threshold.
+            let mut pending = vec![handle
+                .submit(
+                    slow,
+                    &QueryOptions {
+                        deadline: Duration::from_secs(30),
+                        ..QueryOptions::default()
+                    },
+                )
+                .unwrap()];
+            // Generous deadlines: these sit behind a multi-hundred-ms (in
+            // debug builds) slow evaluation and must not expire.
+            for i in 0..4u64 {
+                pending.push(
+                    handle
+                        .submit(
+                            &[i],
+                            &QueryOptions {
+                                deadline: Duration::from_secs(30),
+                                ..QueryOptions::default()
+                            },
+                        )
+                        .unwrap(),
+                );
+            }
+            for p in pending {
+                p.wait().unwrap();
+            }
+            // Load gone: wait out the flip-back cooldown (the contended
+            // phase stamped the lane as live), then a sequential
+            // closed-loop trickle is nothing but quiet singleton batches,
+            // so the worker's quiet streak builds up and flips the lane
+            // back to inline; the tail of the trickle is then served
+            // inline again.
+            std::thread::sleep(Duration::from_millis(400));
+            for i in 0..40u64 {
+                handle
+                    .query(&[100 + i], 0.0, Duration::from_secs(5))
+                    .unwrap();
+            }
+        });
+    });
+    let t = &stats.tiers[0];
+    assert!(
+        t.inline_completed >= 2,
+        "quiet traffic should run inline: {t:?}"
+    );
+    assert!(t.batched >= 1, "contended requests should queue");
+    assert!(
+        t.switched_to_batch >= 1,
+        "queue depth {} never tripped batching: {t:?}",
+        t.max_queue_depth
+    );
+    assert!(
+        t.switched_to_inline >= 1,
+        "a sustained quiet streak never flipped back: {t:?}"
+    );
+    assert!(t.max_queue_depth >= 2);
+    assert_eq!(t.completed, 46);
+}
+
+#[test]
+fn reset_stats_opens_a_fresh_measurement_window() {
+    let index = build_index(16, 20, 17);
+    let catalog = Catalog::build_halving(&index, 0).unwrap();
+    let terms = [(2u64 << 24) | 1, (2u64 << 24) | 3];
+    let (_, stats) = Server::scope(&catalog, ServerConfig::default(), |handle| {
+        handle.query(&terms, 0.0, Duration::from_secs(5)).unwrap();
+        let warm = handle.stats();
+        assert_eq!(warm.total_completed(), 1);
+        assert!(warm.latency.count() >= 1);
+        assert!(!warm.slow_queries.is_empty());
+        handle.reset_stats();
+        let cleared = handle.stats();
+        assert_eq!(cleared.total_completed(), 0);
+        assert_eq!(cleared.latency.count(), 0);
+        assert!(cleared.slow_queries.is_empty());
+        // The server keeps serving across the window boundary, and only
+        // post-reset traffic lands in the new window.
+        handle.query(&terms, 0.0, Duration::from_secs(5)).unwrap();
+    });
+    assert_eq!(stats.total_completed(), 1);
+    assert_eq!(stats.latency.count(), 1);
+}
+
+#[test]
+fn result_cache_serves_repeats_and_invalidates_on_version_bump() {
+    let index = build_index(16, 20, 12);
+    let catalog = Catalog::build_halving(&index, 0).unwrap();
+    let terms = [(3u64 << 24) | 7, (3u64 << 24) | 9];
+    let mut ctx = QueryContext::new();
+    let direct = catalog
+        .tier(0)
+        .query_terms_with(&terms, QueryMode::Full, &mut ctx);
+    let (_, stats) = Server::scope(&catalog, ServerConfig::default(), |handle| {
+        let first = handle.query(&terms, 0.0, Duration::from_secs(5)).unwrap();
+        assert_eq!(first.docs, direct);
+        // A permuted, duplicated term list canonicalizes to the same key.
+        let shuffled = [(3u64 << 24) | 9, (3u64 << 24) | 7, (3u64 << 24) | 9];
+        let second = handle
+            .query(&shuffled, 0.0, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(second.docs, direct);
+        let mid = handle.stats();
+        assert_eq!(mid.total_cache_hits(), 1, "repeat did not hit the cache");
+        // Invalidation: the next repeat must re-evaluate, not serve stale.
+        handle.invalidate_result_cache();
+        let third = handle.query(&terms, 0.0, Duration::from_secs(5)).unwrap();
+        assert_eq!(third.docs, direct);
+    });
+    assert_eq!(stats.total_completed(), 3);
+    assert_eq!(stats.total_cache_hits(), 1);
+    let cache = stats.cache.expect("cache enabled by default");
+    assert_eq!(cache.counters.hits, 1);
+    assert_eq!(cache.counters.stale, 1, "stale entry not dropped");
+    assert_eq!(cache.version, 1);
+    // The slow-query log saw the evaluated (non-cached) requests, worst
+    // first.
+    assert!(!stats.slow_queries.is_empty());
+    assert!(stats
+        .slow_queries
+        .windows(2)
+        .all(|w| w[0].total >= w[1].total));
+}
+
+#[test]
+fn tcp_stats_frame_dumps_counters() {
+    let index = build_index(16, 20, 13);
+    let catalog = Catalog::build_halving(&index, 0).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    Server::scope(&catalog, ServerConfig::default(), |handle| {
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(handle, listener, &stop));
+            let mut client = TcpClient::connect(addr).unwrap();
+            let q = [(5u64 << 24) | 1];
+            client.query(&q, 0.0, Duration::from_secs(5)).unwrap();
+            client.query(&q, 0.0, Duration::from_secs(5)).unwrap();
+            let dump = client.stats().unwrap();
+            assert!(dump.contains("tier 0:"), "missing tier line: {dump}");
+            assert!(dump.contains("completed=2"), "missing counters: {dump}");
+            assert!(dump.contains("cache_hits=1"), "repeat not cached: {dump}");
+            assert!(dump.contains("cache: hits=1"), "missing cache line: {dump}");
+            assert!(dump.contains("slow 0:"), "missing slow-query log: {dump}");
+            stop.store(true, Ordering::Relaxed);
+            server.join().unwrap().unwrap();
+        });
+    });
+}
+
+#[test]
+fn stalled_mid_frame_client_does_not_block_shutdown() {
+    use std::io::Write;
+    let index = build_index(16, 10, 14);
+    let catalog = Catalog::build_halving(&index, 0).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    Server::scope(&catalog, ServerConfig::default(), |handle| {
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(handle, listener, &stop));
+            // A client that promises 100 bytes, sends 10, and stalls.
+            let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+            stalled.write_all(&100u32.to_le_bytes()).unwrap();
+            stalled.write_all(&[0u8; 10]).unwrap();
+            stalled.flush().unwrap();
+            // The reactor still serves others around the stalled peer.
+            let mut client = TcpClient::connect(addr).unwrap();
+            let reply = client
+                .query(&[(2u64 << 24) | 1], 0.0, Duration::from_secs(5))
+                .unwrap();
+            assert!(reply.docs.contains(&2));
+            let start = std::time::Instant::now();
+            stop.store(true, Ordering::Relaxed);
+            server.join().unwrap().unwrap();
+            assert!(
+                start.elapsed() < Duration::from_secs(2),
+                "stalled client blocked shutdown for {:?}",
+                start.elapsed()
+            );
+            drop(stalled);
         });
     });
 }

@@ -28,5 +28,5 @@ pub mod timing;
 pub use archive::{ArchiveParams, SyntheticArchive};
 pub use fpr::{FprMeasurement, PlantedQueries};
 pub use report::Table;
-pub use telemetry::QueueTelemetry;
+pub use telemetry::{CacheSnapshot, CacheTelemetry, QueueTelemetry};
 pub use timing::{time, Stopwatch};

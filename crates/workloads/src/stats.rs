@@ -93,6 +93,16 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Snapshot clone (bucket-by-bucket relaxed loads); concurrent recorders
+/// make it approximate the same way live reads are.
+impl Clone for LatencyHistogram {
+    fn clone(&self) -> Self {
+        let h = Self::new();
+        h.merge(self);
+        h
+    }
+}
+
 /// Bucket index for a nanosecond value.
 fn hist_bucket(ns: u64) -> usize {
     if ns < HIST_SUB as u64 {
@@ -185,6 +195,26 @@ impl LatencyHistogram {
             }
         }
         self.max()
+    }
+
+    /// Fold `other`'s samples into `self` (bucket-wise count addition;
+    /// count, mean and max stay exact). Aggregating per-shard or per-tier
+    /// recorders into an overall distribution is bucket-exact — unlike
+    /// averaging the shards' quantiles, which has no meaning. Quiesce (or
+    /// accept approximate reads from) concurrent recorders on both sides.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.counts.iter().zip(other.counts.iter()) {
+            let c = src.load(Ordering::Relaxed);
+            if c != 0 {
+                dst.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Reset every counter to zero (not atomic across buckets; callers
@@ -285,6 +315,31 @@ mod tests {
         );
         assert!(h.quantile(1.0) >= h.max());
         assert_eq!(h.quantile(0.0).as_nanos(), h.quantile(1e-9).as_nanos());
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_into_one() {
+        let (a, b, all) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 1..=500u64 {
+            let ns = Duration::from_nanos(i * 131 % 20_000 + 1);
+            if i % 3 == 0 {
+                a.record(ns)
+            } else {
+                b.record(ns)
+            }
+            all.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.max(), all.max());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -27,9 +27,9 @@ BASELINE_DIR=scripts/bench_baselines
 
 # file | headline metric (a within-run speedup ratio; higher is better)
 #
-# One metric per BENCH file, chosen for stability on the host class that
-# recorded the baseline. Deliberately NOT gated: speedup_pipelined_vs_single
-# and speedup_sharded_vs_single — two-threads-on-one-core ratios swing
+# Metrics chosen for stability on the host class that recorded the
+# baseline. Deliberately NOT gated: speedup_pipelined_vs_single and
+# speedup_sharded_vs_single — two-threads-on-one-core ratios swing
 # 0.8–1.8x with OS scheduling on single-core hosts (their win is a
 # multi-core property); they are still recorded in BENCH_ingest.json and
 # uploaded as artifacts for human eyes.
@@ -38,6 +38,22 @@ BENCH_ingest.json|speedup_batch_vs_naive
 BENCH_batch_query.json|sparse_batch_speedup
 BENCH_probe.json|speedup_vectorized_vs_scalar
 BENCH_serve.json|batched_qps_speedup_vs_one_at_a_time
+BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time
+BENCH_serve.json|batched_p99_speedup_vs_always_batch
+"
+
+# file | metric | absolute floor — design targets that hold regardless of
+# what any past run blessed: the adaptive scheduler must never lose at
+# tail latency to either fixed design at ANY swept load level (the
+# batched_p99_* aggregates are minima across levels), and a served hot
+# query must beat re-evaluation by a wide margin. The same TOLERANCE_PCT
+# is applied below the floor so single-core scheduler jitter does not
+# fail a structurally-sound build; a real design regression sits well
+# below floor*(1-tol) twice in a row.
+ABS_CHECKS="
+BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time|1.0
+BENCH_serve.json|batched_p99_speedup_vs_always_batch|1.0
+BENCH_serve.json|cache_hit_p50_speedup|5.0
 "
 
 # Canonical runs: default flags except a fixed seed — these sizes are what
@@ -104,6 +120,28 @@ compare_all() {
             printf '  ok        %-26s %-40s %10s (baseline %s)\n' "$file" "$key" "$new" "$base"
         else
             printf '  REGRESSED %-26s %-40s %10s < %s - %s%%\n' "$file" "$key" "$new" "$base" "$TOLERANCE_PCT"
+            case " $failed_files " in
+                *" $file "*) ;;
+                *) failed_files="$failed_files $file" ;;
+            esac
+        fi
+    done
+    for check in $ABS_CHECKS; do
+        file="${check%%|*}"
+        rest="${check#*|}"
+        key="${rest%%|*}"
+        floor="${rest##*|}"
+        new="$(extract "$file" "$key")"
+        if [ -z "$new" ]; then
+            echo "  MISSING metric $key in $file"
+            hard_fail=1
+            continue
+        fi
+        if awk -v n="$new" -v f="$floor" -v tol="$TOLERANCE_PCT" \
+            'BEGIN { exit !(n + 0 >= f * (1 - tol / 100)) }'; then
+            printf '  ok        %-26s %-40s %10s (floor %s)\n' "$file" "$key" "$new" "$floor"
+        else
+            printf '  BELOW     %-26s %-40s %10s < floor %s - %s%%\n' "$file" "$key" "$new" "$floor" "$TOLERANCE_PCT"
             case " $failed_files " in
                 *" $file "*) ;;
                 *) failed_files="$failed_files $file" ;;

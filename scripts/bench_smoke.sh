@@ -23,11 +23,14 @@ run cargo run --release -p rambo-bench --bin batch_query -- \
     --docs 100 --mean-terms 200 --queries 500
 run cargo run --release -p rambo-bench --bin probe_kernel -- \
     --mask-words 262144 --rows 8 --iters 3 --docs 100 --queries 300
-# serve-smoke: starts the micro-batching server (in-process and on a
-# loopback TCP port), fires a mixed-tier query load from 4 concurrent
-# clients, and asserts result parity with direct evaluation, non-empty
-# responses for present-term queries, strictly-smaller tier selection under
-# a loosened FPR budget, and a clean drain-and-join shutdown.
+# serve-smoke: starts the adaptive-scheduler server (in-process and on a
+# loopback non-blocking TCP port), sweeps the paced load levels 1/2/8 so
+# the scheduler exercises both the inline-bypass and batching regimes, and
+# asserts result parity with direct evaluation (served arms and TCP front
+# alike), non-empty responses for present-term queries, strictly-smaller
+# tier selection under a loosened FPR budget, and a clean drain-and-join
+# shutdown. Mid-frame stalled-client abort and cached-vs-uncached parity
+# are covered by `cargo test -p rambo-server` in the test step above.
 run cargo run --release -p rambo-bench --bin serve_load -- \
     --docs 120 --mean-terms 800 --queries 800 --window 32 \
-    --clients 4 --tcp
+    --loads 1,2,8 --tcp
