@@ -25,6 +25,15 @@ fn main() {
     let n_queries = args.get_usize("queries", 2000);
     let window = args.get_usize("window", 4);
     let seed = args.get_u64("seed", 7);
+    rambo_bench::require_nonzero(
+        "batch_query",
+        &[
+            ("--docs", docs),
+            ("--mean-terms", mean_terms),
+            ("--queries", n_queries),
+            ("--window", window),
+        ],
+    );
 
     let archive = archive_with_mean_terms(docs, mean_terms, seed);
     let index = build_rambo(

@@ -31,6 +31,16 @@ fn main() {
     let reps = args.get_usize("reps", 3);
     let seed = args.get_u64("seed", 7);
     let node_counts = args.get_usize_list("nodes", &[1, 2, 4, 8, 16]);
+    rambo_bench::require_nonzero(
+        "cluster_scaling",
+        &[
+            ("--docs", k),
+            ("--terms", mean_terms),
+            ("--total-b", total_b as usize),
+            ("--reps", reps),
+            ("--nodes", node_counts.iter().copied().min().unwrap_or(0)),
+        ],
+    );
 
     println!("RAMBO reproduction — §5.3 cluster construction (simulated nodes)");
     println!("workload: {k} docs x ~{mean_terms} terms, global B = {total_b}, R = {reps}\n");

@@ -27,6 +27,17 @@ fn main() {
     let vs = args.get_usize_list("vs", &[1, 2, 4, 8, 16, 32, 64]);
     let folds = args.get_usize("folds", 3);
     let seed = args.get_u64("seed", 7);
+    rambo_bench::require_nonzero(
+        "fig4_fpr",
+        &[
+            ("--docs", k),
+            ("--terms", mean_terms),
+            ("--buckets", buckets as usize),
+            ("--reps", reps),
+            ("--queries", n_queries),
+            ("--vs", vs.iter().copied().min().unwrap_or(0)),
+        ],
+    );
 
     println!("RAMBO reproduction — Figure 4 (FPR vs multiplicity V and memory)");
     println!("base geometry: K = {k}, B = {buckets}, R = {reps}\n");

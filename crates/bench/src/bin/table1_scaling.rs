@@ -38,6 +38,14 @@ fn main() {
     let n_queries = args.get_usize("queries", 300);
     let alpha = args.get_f64("alpha", 4.0);
     let seed = args.get_u64("seed", 7);
+    rambo_bench::require_nonzero(
+        "table1_scaling",
+        &[
+            ("--ks", ks.iter().copied().min().unwrap_or(0)),
+            ("--terms", mean_terms),
+            ("--queries", n_queries),
+        ],
+    );
 
     println!("RAMBO reproduction — Table 1 (query-time scaling with K)\n");
     let labels = ["Inverted", "RAMBO", "RAMBO+", "COBS", "SBT", "SSBT"];

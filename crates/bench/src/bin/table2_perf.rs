@@ -27,6 +27,15 @@ fn main() {
     // builds are O(K·depth·m) and dominate harness time past this limit.
     let tree_limit = args.get_usize("tree-limit", 500);
     let fastq_genome = args.get_usize("fastq-genome", 20_000);
+    rambo_bench::require_nonzero(
+        "table2_perf",
+        &[
+            ("--files", files.iter().copied().min().unwrap_or(0)),
+            ("--terms", mean_terms),
+            ("--queries", n_queries),
+            ("--fastq-genome", fastq_genome),
+        ],
+    );
 
     println!("RAMBO reproduction — Table 2 (query + construction time)");
     println!(

@@ -20,6 +20,13 @@ fn main() {
     let mean_terms = args.get_usize("terms", 1500);
     let seed = args.get_u64("seed", 7);
     let tree_limit = args.get_usize("tree-limit", 500);
+    rambo_bench::require_nonzero(
+        "table3_size",
+        &[
+            ("--files", files.iter().copied().min().unwrap_or(0)),
+            ("--terms", mean_terms),
+        ],
+    );
 
     println!("RAMBO reproduction — Table 3 (index size)\n");
     let mut table = Table::new(

@@ -28,6 +28,17 @@ fn main() {
     let reps = args.get_usize("reps", 5);
     let n_queries = args.get_usize("queries", 1000);
     let seed = args.get_u64("seed", 7);
+    rambo_bench::require_nonzero(
+        "table4_folding",
+        &[
+            ("--docs", k),
+            ("--terms", mean_terms),
+            ("--nodes", nodes as usize),
+            ("--local-b", local_b as usize),
+            ("--reps", reps),
+            ("--queries", n_queries),
+        ],
+    );
 
     println!("RAMBO reproduction — Table 4 (folding over the stacked index)");
     println!(

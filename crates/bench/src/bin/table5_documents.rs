@@ -37,6 +37,11 @@ fn main() {
     let n_queries = args.get_usize("queries", 400);
     let seed = args.get_u64("seed", 7);
     let with_trees = args.get("trees").is_none_or(|v| v != "false");
+    rambo_bench::require_nonzero("table5_documents", &[("--queries", n_queries)]);
+    if scale <= 0.0 {
+        eprintln!("table5_documents: --scale must be > 0 (a zero-scale corpus has no documents)");
+        std::process::exit(2);
+    }
 
     println!("RAMBO reproduction — Table 5 (document indexing)");
     println!("scale = {scale} of the paper's corpus sizes\n");

@@ -237,6 +237,20 @@ pub fn single_term_queries(archive: &rambo_workloads::SyntheticArchive, n: usize
     queries
 }
 
+/// Exit with the conventional usage status (2) when any size/count flag is
+/// zero — same contract as `ingest_throughput`'s `--docs`: a zero-sized run
+/// measures nothing and would otherwise panic deep inside index
+/// construction with a far less useful message. List-valued flags pass each
+/// element (an empty list should be rejected by the caller with `(flag, 0)`).
+pub fn require_nonzero(bin: &str, flags: &[(&str, usize)]) {
+    for (flag, v) in flags {
+        if *v == 0 {
+            eprintln!("{bin}: {flag} must be >= 1 (a zero-sized run measures nothing)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Mean microseconds per item of a workload that processed `n` items.
 #[must_use]
 pub fn us_per(d: Duration, n: usize) -> f64 {

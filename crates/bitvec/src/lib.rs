@@ -14,7 +14,14 @@
 //!   cited by the paper as the compression used by HowDeSBT and SSBT for
 //!   their tree nodes (Table 3 caption). Blocks of 15 bits are stored as a
 //!   (class, offset) pair under enumerative coding; supports `access` and
-//!   `rank1` without decompression.
+//!   `rank1` without decompression. Its row-major sibling [`RrrMatrix`]
+//!   stores an `m × B` matrix as one RRR stream per row — the compressed
+//!   storage backend for cold BFU tiers.
+//! * [`PagedWords`] — file-backed word storage faulted in row-aligned
+//!   blocks through the sharded, byte-budgeted block cache of a
+//!   [`PagedFile`], so a many-GB catalog opens by reading metadata only and
+//!   queries touch just the rows they probe (per-tier traffic in
+//!   [`BlockCacheCounters`]).
 //!
 //! All structures serialize to a compact binary form (magic + version header)
 //! and deserialize with validation, since the paper's fold-over workflow
@@ -40,6 +47,7 @@
 mod dense;
 mod error;
 pub mod kernel;
+mod paged;
 mod rank;
 mod rrr;
 mod store;
@@ -47,6 +55,7 @@ mod store;
 pub use dense::BitVec;
 pub use error::DecodeError;
 pub use kernel::{Backend, Kernel};
+pub use paged::{BlockCacheCounters, BlockCacheSnapshot, PageGuard, PagedFile, PagedWords};
 pub use rank::RankBitVec;
-pub use rrr::RrrVec;
+pub use rrr::{RrrMatrix, RrrVec};
 pub use store::{skip_word_padding, write_word_padding, WordStore, WordView};

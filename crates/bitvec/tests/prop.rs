@@ -312,6 +312,65 @@ proptest! {
         }
     }
 
+    /// RRR vectors round-trip through the v2 `RRV2` framing at every fuzzed
+    /// density and length: decode gives back the same logical vector
+    /// (access and rank1 agree with the dense model), and the encoded
+    /// record self-describes its length so trailing bytes survive.
+    #[test]
+    fn rrr_serialization_roundtrip((len, ones) in bits_strategy(4000), tail in any::<u8>()) {
+        let dense = BitVec::from_ones(len, ones);
+        let rrr = RrrVec::from_bitvec(&dense);
+        let bytes = rrr.to_bytes();
+
+        let back = RrrVec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.len(), dense.len());
+        prop_assert_eq!(back.count_ones(), dense.count_ones());
+        prop_assert_eq!(back.to_bitvec(), dense.clone());
+        let rank_dense = RankBitVec::new(dense.clone());
+        for i in (0..len).step_by(11) {
+            prop_assert_eq!(back.get(i), dense.get(i));
+            prop_assert_eq!(back.rank1(i), rank_dense.rank1(i));
+        }
+
+        // Framed decode consumes exactly its record and leaves the tail.
+        let mut framed = bytes.clone();
+        framed.extend_from_slice(&[tail, tail]);
+        let mut slice = framed.as_slice();
+        let again = RrrVec::decode_from(&mut slice).unwrap();
+        prop_assert_eq!(slice.len(), 2, "decode must consume exactly one record");
+        prop_assert_eq!(again.to_bitvec(), dense);
+    }
+
+    /// Corrupted or truncated `RRV2` records must return an error or decode
+    /// to an internally consistent vector — never panic, never UB. Mirrors
+    /// `open_view_fuzz_errors_not_ub` for the compressed framing.
+    #[test]
+    fn rrr_decode_fuzz_errors_not_panics(
+        (len, ones) in bits_strategy(2000),
+        cut in any::<proptest::sample::Index>(),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_to in any::<u8>(),
+    ) {
+        let bytes = RrrVec::from_bitvec(&BitVec::from_ones(len, ones)).to_bytes();
+
+        // Truncation at every depth is an error, not a panic.
+        prop_assert!(RrrVec::from_bytes(&bytes[..cut.index(bytes.len())]).is_err());
+
+        // A flipped byte either errors out or yields a vector whose reads
+        // stay in bounds (class/offset tables may still be coherent).
+        let mut flipped = bytes.clone();
+        let at = flip_at.index(flipped.len());
+        flipped[at] = flip_to;
+        if let Ok(v) = RrrVec::from_bytes(&flipped) {
+            let n = v.len();
+            let _ = v.count_ones();
+            let _ = v.rank1(n);
+            if n > 0 {
+                let _ = v.get(n - 1);
+            }
+        }
+    }
+
     #[test]
     fn rrr_equals_dense((len, ones) in bits_strategy(4000)) {
         let dense = BitVec::from_ones(len, ones);

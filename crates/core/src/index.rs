@@ -295,6 +295,29 @@ impl Rambo {
         total
     }
 
+    /// Convert every repetition's matrix to RRR-compressed row storage
+    /// (the cold-tier form of [`crate::TierCompression::Rrr`]). Queries
+    /// keep answering identically — probes decode touched rows block-wise —
+    /// and any later mutation transparently materializes dense words again.
+    pub fn compress_to_rrr(&mut self) {
+        for table in &mut self.tables {
+            table.matrix.compress_rrr();
+        }
+    }
+
+    /// True when every repetition's matrix is RRR-compressed.
+    #[must_use]
+    pub fn is_compressed(&self) -> bool {
+        self.tables.iter().all(|t| t.matrix.is_compressed())
+    }
+
+    /// True when every repetition's matrix payload is file-backed (came
+    /// from [`Rambo::open_paged_at`] and has not been written to).
+    #[must_use]
+    pub fn tables_paged(&self) -> bool {
+        self.tables.iter().all(|t| t.matrix.is_paged())
+    }
+
     /// Mean and maximum BFU fill ratio — the observable that predicts the
     /// per-BFU `p` of Lemmas 4.1/4.2.
     #[must_use]

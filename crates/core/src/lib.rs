@@ -99,6 +99,7 @@ pub mod theory;
 pub use batch::{default_threads, QueryBatch};
 pub use builder::RamboBuilder;
 pub use error::RamboError;
+pub use fold::TierCompression;
 pub use index::{DocId, Rambo};
 pub use params::RamboParams;
 pub use partition::PartitionScheme;

@@ -30,7 +30,8 @@
 use crate::error::RamboError;
 use bytes::{Buf, BufMut};
 use rambo_bitvec::{
-    kernel, skip_word_padding, write_word_padding, BitVec, DecodeError, WordStore, WordView,
+    kernel, skip_word_padding, write_word_padding, BitVec, BlockCacheCounters, DecodeError,
+    PagedFile, PagedWords, RrrMatrix, WordStore, WordView,
 };
 use rambo_hash::HashPair;
 use std::sync::Arc;
@@ -39,8 +40,27 @@ const MAGIC: &[u8; 4] = b"RBFM";
 /// Bytes before the alignment padding: magic, rows, columns, pad length.
 const HEADER_BYTES: usize = 4 + 8 + 8 + 1;
 
+/// Storage backend behind one repetition's bit payload.
+///
+/// * `Dense` — row-major words, owned or a zero-copy view; the probe fast
+///   path (staged 4-row fused AND) runs only here.
+/// * `Rrr` — RRR-compressed rows for cold tiers; probes decode the touched
+///   rows block-wise into dense scratch words.
+/// * `Paged` — dense rows left on disk, faulted in row-aligned blocks
+///   through a shared byte-budgeted cache.
+///
+/// Mutation always goes through [`BfuMatrix::words_mut`], which first
+/// materializes owned dense storage, so `Rrr`/`Paged` matrices stay
+/// logically identical to their dense counterparts under every operation.
+#[derive(Debug, Clone)]
+pub(crate) enum MatrixStore {
+    Dense(WordStore),
+    Rrr(RrrMatrix),
+    Paged(PagedWords),
+}
+
 /// An `m × B` bit matrix holding one repetition's BFUs column-wise.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub(crate) struct BfuMatrix {
     /// Filter length in bits (`m`) — the number of rows.
     m_bits: usize,
@@ -48,10 +68,32 @@ pub(crate) struct BfuMatrix {
     buckets: usize,
     /// Words per row (`⌈B/64⌉`).
     row_words: usize,
-    /// Row-major bit storage, `m_bits · row_words` words — owned, or a
-    /// zero-copy view into a serialized index buffer.
-    words: WordStore,
+    /// Row-major bit storage — dense (owned or zero-copy view),
+    /// RRR-compressed, or file-backed paged.
+    store: MatrixStore,
 }
+
+/// Equality is *logical* (same bits at the same geometry), regardless of
+/// storage backend — a compressed or paged matrix equals its dense source.
+impl PartialEq for BfuMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        if self.m_bits != other.m_bits || self.buckets != other.buckets {
+            return false;
+        }
+        if let (MatrixStore::Dense(a), MatrixStore::Dense(b)) = (&self.store, &other.store) {
+            return a.as_words() == b.as_words();
+        }
+        let rw = self.row_words;
+        let (mut ra, mut rb) = (vec![0u64; rw], vec![0u64; rw]);
+        (0..self.m_bits).all(|p| {
+            self.row_into(p, &mut ra);
+            other.row_into(p, &mut rb);
+            ra == rb
+        })
+    }
+}
+
+impl Eq for BfuMatrix {}
 
 /// Parsed fixed-size matrix header (shared by the copying and zero-copy
 /// decode paths). The cursor is left at the first payload word.
@@ -71,7 +113,17 @@ impl BfuMatrix {
             m_bits,
             buckets,
             row_words,
-            words: vec![0; m_bits * row_words].into(),
+            store: MatrixStore::Dense(vec![0; m_bits * row_words].into()),
+        }
+    }
+
+    /// Wrap a decoded RRR payload.
+    fn from_rrr(rrr: RrrMatrix) -> Self {
+        Self {
+            m_bits: rrr.m_bits(),
+            buckets: rrr.buckets(),
+            row_words: rrr.row_words(),
+            store: MatrixStore::Rrr(rrr),
         }
     }
 
@@ -85,26 +137,109 @@ impl BfuMatrix {
 
     /// True when the word payload is a zero-copy view into a shared buffer.
     pub(crate) fn is_view(&self) -> bool {
-        self.words.is_view()
+        matches!(&self.store, MatrixStore::Dense(ws) if ws.is_view())
+    }
+
+    /// True when rows are stored RRR-compressed.
+    pub(crate) fn is_compressed(&self) -> bool {
+        matches!(self.store, MatrixStore::Rrr(_))
+    }
+
+    /// True when the word payload is file-backed (faulted on demand).
+    #[allow(dead_code)] // diagnostic helper; exercised by tests
+    pub(crate) fn is_paged(&self) -> bool {
+        matches!(self.store, MatrixStore::Paged(_))
     }
 
     /// Does the word payload live inside `buf`? (Diagnostic for the
-    /// zero-copy load path; owned matrices always answer `false`.)
+    /// zero-copy load path; owned/compressed/paged matrices answer `false`.)
     pub(crate) fn payload_borrows(&self, buf: &[u8]) -> bool {
-        if !self.words.is_view() {
+        let MatrixStore::Dense(ws) = &self.store else {
+            return false;
+        };
+        if !ws.is_view() {
             return false;
         }
         let range = buf.as_ptr_range();
-        let words = self.words.as_words();
+        let words = ws.as_words();
         let start = words.as_ptr().cast::<u8>();
         // `range.end` is one-past-the-end, so a payload ending exactly at
         // the buffer end is still inside.
         range.contains(&start) && words.as_ptr_range().end.cast::<u8>() <= range.end
     }
 
+    /// The dense word payload. Only valid on `Dense` storage — callers on
+    /// generic paths use [`BfuMatrix::row_into`] instead.
+    #[inline]
+    fn dense_words(&self) -> &[u64] {
+        match &self.store {
+            MatrixStore::Dense(ws) => ws.as_words(),
+            _ => unreachable!("dense_words on compressed/paged storage"),
+        }
+    }
+
     #[inline]
     fn row(&self, p: usize) -> &[u64] {
-        &self.words.as_words()[p * self.row_words..(p + 1) * self.row_words]
+        &self.dense_words()[p * self.row_words..(p + 1) * self.row_words]
+    }
+
+    /// Copy row `p` into `out` (`row_words` words), whatever the backend.
+    /// Bits at positions `≥ buckets` in the final word come out zero even
+    /// for paged payloads (whose on-disk tails are not pre-validated).
+    pub(crate) fn row_into(&self, p: usize, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.row_words);
+        match &self.store {
+            MatrixStore::Dense(_) => out.copy_from_slice(self.row(p)),
+            MatrixStore::Rrr(rrr) => rrr.decode_row_into(p, out),
+            MatrixStore::Paged(pw) => {
+                out.copy_from_slice(&pw.read(p * self.row_words, self.row_words));
+                mask_tail(out, self.buckets);
+            }
+        }
+    }
+
+    /// Read one bit, whatever the backend.
+    #[inline]
+    fn bit(&self, p: usize, bucket: usize) -> bool {
+        let (word, shift) = (bucket / 64, bucket % 64);
+        match &self.store {
+            MatrixStore::Dense(ws) => (ws.as_words()[p * self.row_words + word] >> shift) & 1 == 1,
+            MatrixStore::Rrr(rrr) => rrr.get(p, bucket),
+            MatrixStore::Paged(pw) => (pw.read_word(p * self.row_words + word) >> shift) & 1 == 1,
+        }
+    }
+
+    /// Materialize owned dense storage (decode / page in all rows). No-op
+    /// for matrices that are already dense.
+    fn materialize(&mut self) {
+        if matches!(self.store, MatrixStore::Dense(_)) {
+            return;
+        }
+        let rw = self.row_words;
+        let mut words = vec![0u64; self.m_bits * rw];
+        for (p, row) in words.chunks_exact_mut(rw).enumerate() {
+            self.row_into(p, row);
+        }
+        self.store = MatrixStore::Dense(words.into());
+    }
+
+    /// Mutable dense words — materializes compressed/paged storage and
+    /// promotes views to owned first (copy-on-write).
+    fn words_mut(&mut self) -> &mut Vec<u64> {
+        self.materialize();
+        match &mut self.store {
+            MatrixStore::Dense(ws) => ws.to_mut(),
+            _ => unreachable!("materialize produced dense storage"),
+        }
+    }
+
+    /// Convert storage to RRR-compressed rows (materializing dense words
+    /// first if needed). Build-time only: any later mutation materializes
+    /// back to dense via [`BfuMatrix::words_mut`].
+    pub(crate) fn compress_rrr(&mut self) {
+        self.materialize();
+        let rrr = RrrMatrix::from_words(self.dense_words(), self.m_bits, self.buckets);
+        self.store = MatrixStore::Rrr(rrr);
     }
 
     /// Set the `eta` filter bits of one term in one BFU (Algorithm 1's
@@ -114,7 +249,7 @@ impl BfuMatrix {
         debug_assert!(bucket < self.buckets);
         let m = self.m_bits as u64;
         let row_words = self.row_words;
-        let words = self.words.to_mut();
+        let words = self.words_mut();
         for i in 0..eta {
             let p = pair.index(i, m) as usize;
             words[p * row_words + bucket / 64] |= 1u64 << (bucket % 64);
@@ -132,7 +267,7 @@ impl BfuMatrix {
         let bit = 1u64 << (bucket % 64);
         let row_words = self.row_words;
         let m_bits = self.m_bits;
-        let words = self.words.to_mut();
+        let words = self.words_mut();
         for &p in rows {
             debug_assert!(p < m_bits);
             words[p * row_words + word] |= bit;
@@ -153,11 +288,48 @@ impl BfuMatrix {
     pub(crate) fn probe_all_into(&self, pairs: &[HashPair], eta: u32, mask: &mut BitVec) {
         debug_assert_eq!(mask.len(), self.buckets);
         // set_all keeps the tail bits beyond B zeroed (BitVec invariant), and
-        // AND can only clear bits, so the mask stays well-formed throughout.
+        // AND can only clear bits, so the mask stays well-formed throughout —
+        // including against paged rows whose on-disk tails are unvalidated.
         mask.set_all();
         let m = self.m_bits as u64;
         let rw = self.row_words;
-        let words = self.words.as_words();
+        let words = match &self.store {
+            MatrixStore::Dense(ws) => ws.as_words(),
+            MatrixStore::Rrr(rrr) => {
+                // Cold tier: decode each probed row block-wise into scratch
+                // and AND it straight into the mask, with the same
+                // dedup + dead-mask early exit as the dense path.
+                let mut scratch = vec![0u64; rw];
+                for (i, pair) in pairs.iter().enumerate() {
+                    if pairs[..i].contains(pair) {
+                        continue;
+                    }
+                    for j in 0..eta {
+                        rrr.decode_row_into(pair.index(j, m) as usize, &mut scratch);
+                        if !mask.and_words_any(&scratch) {
+                            return;
+                        }
+                    }
+                }
+                return;
+            }
+            MatrixStore::Paged(pw) => {
+                // Paged tier: each probed row is one in-page slice; the
+                // fault cost dominates, so no 4-row staging here.
+                for (i, pair) in pairs.iter().enumerate() {
+                    if pairs[..i].contains(pair) {
+                        continue;
+                    }
+                    for j in 0..eta {
+                        let row = pw.read(pair.index(j, m) as usize * rw, rw);
+                        if !mask.and_words_any(&row) {
+                            return;
+                        }
+                    }
+                }
+                return;
+            }
+        };
         let mut staged = [0usize; 4];
         let mut n = 0;
         for (i, pair) in pairs.iter().enumerate() {
@@ -212,7 +384,6 @@ impl BfuMatrix {
     pub(crate) fn probe_pairs_into(&self, pairs: &[HashPair], eta: u32, out: &mut [u64]) {
         let rw = self.row_words;
         debug_assert_eq!(out.len(), pairs.len() * rw);
-        let words = self.words.as_words();
         if eta == 0 {
             // Zero filter bits per term: every bucket matches (the same
             // all-ones-with-zero-tail mask `probe_all_into` starts from).
@@ -226,6 +397,26 @@ impl BfuMatrix {
             return;
         }
         let m = self.m_bits as u64;
+        let words = match &self.store {
+            MatrixStore::Dense(ws) => ws.as_words(),
+            _ => {
+                // Compressed/paged tiers: copy the first row (tail-masked by
+                // `row_into`), then AND the remaining rows in — correctness
+                // over lane interleaving off the dense fast path.
+                let mut scratch = vec![0u64; rw];
+                for (i, pair) in pairs.iter().enumerate() {
+                    let out_row = &mut out[i * rw..(i + 1) * rw];
+                    self.row_into(pair.index(0, m) as usize, out_row);
+                    for j in 1..eta {
+                        self.row_into(pair.index(j, m) as usize, &mut scratch);
+                        for (dst, s) in out_row.iter_mut().zip(&scratch) {
+                            *dst &= s;
+                        }
+                    }
+                }
+                return;
+            }
+        };
         const LANES: usize = 4;
         let mut offs = [0usize; LANES];
         for (chunk_i, chunk) in pairs.chunks(LANES).enumerate() {
@@ -260,25 +451,18 @@ impl BfuMatrix {
     pub(crate) fn probe_bucket(&self, bucket: usize, pairs: &[HashPair], eta: u32) -> bool {
         debug_assert!(bucket < self.buckets);
         let m = self.m_bits as u64;
-        let (word, bit) = (bucket / 64, bucket % 64);
-        let words = self.words.as_words();
-        pairs.iter().all(|pair| {
-            (0..eta).all(|i| {
-                let p = pair.index(i, m) as usize;
-                (words[p * self.row_words + word] >> bit) & 1 == 1
-            })
-        })
+        pairs
+            .iter()
+            .all(|pair| (0..eta).all(|i| self.bit(pair.index(i, m) as usize, bucket)))
     }
 
     /// Extract one BFU's bits as a standalone filter image (column slice).
     /// O(m) — used for stats, tests and cross-checks, not on query paths.
     pub(crate) fn column(&self, bucket: usize) -> BitVec {
         assert!(bucket < self.buckets);
-        let (word, bit) = (bucket / 64, bucket % 64);
-        let words = self.words.as_words();
         BitVec::from_ones(
             self.m_bits,
-            (0..self.m_bits).filter(|p| (words[p * self.row_words + word] >> bit) & 1 == 1),
+            (0..self.m_bits).filter(|&p| self.bit(p, bucket)),
         )
     }
 
@@ -287,8 +471,16 @@ impl BfuMatrix {
     /// columns advance per word operation, with no per-set-bit extraction.
     pub(crate) fn column_ones(&self) -> Vec<usize> {
         let mut cc = kernel::ColumnCounter::new(self.row_words);
-        for p in 0..self.m_bits {
-            cc.add_row(self.row(p));
+        if let MatrixStore::Dense(_) = &self.store {
+            for p in 0..self.m_bits {
+                cc.add_row(self.row(p));
+            }
+        } else {
+            let mut scratch = vec![0u64; self.row_words];
+            for p in 0..self.m_bits {
+                self.row_into(p, &mut scratch);
+                cc.add_row(&scratch);
+            }
         }
         let mut counts = cc.counts();
         counts.truncate(self.buckets);
@@ -298,11 +490,7 @@ impl BfuMatrix {
     /// Fraction of set bits in one BFU column.
     #[allow(dead_code)] // diagnostic helper; exercised by tests
     pub(crate) fn column_fill(&self, bucket: usize) -> f64 {
-        let (word, bit) = (bucket / 64, bucket % 64);
-        let words = self.words.as_words();
-        let ones = (0..self.m_bits)
-            .filter(|p| (words[p * self.row_words + word] >> bit) & 1 == 1)
-            .count();
+        let ones = (0..self.m_bits).filter(|&p| self.bit(p, bucket)).count();
         ones as f64 / self.m_bits as f64
     }
 
@@ -328,6 +516,9 @@ impl BfuMatrix {
         }
         let half = self.buckets / 2;
         let new_row_words = half.div_ceil(64);
+        // The fold walks every row anyway, so compressed/paged storage is
+        // materialized up front (folding belongs to the build phase).
+        self.materialize();
         let mut new_words = vec![0u64; self.m_bits * new_row_words];
         for p in 0..self.m_bits {
             let row = self.row(p);
@@ -353,7 +544,7 @@ impl BfuMatrix {
         }
         self.buckets = half;
         self.row_words = new_row_words;
-        self.words = new_words.into();
+        self.store = MatrixStore::Dense(new_words.into());
         Ok(())
     }
 
@@ -369,10 +560,22 @@ impl BfuMatrix {
         let word_off = dst_offset / 64;
         let (dst_rw, src_rw) = (self.row_words, src.row_words);
         let m_bits = self.m_bits;
-        let src_words = src.words.as_words();
-        let dst_words = self.words.to_mut();
+        // Non-dense sources stream row by row through scratch; the common
+        // stacking path (dense shard into dense global) stays a slice walk.
+        let mut scratch = vec![0u64; src_rw];
+        let dense_src = match &src.store {
+            MatrixStore::Dense(ws) => Some(ws.as_words()),
+            _ => None,
+        };
+        let dst_words = self.words_mut();
         for p in 0..m_bits {
-            let src_row = &src_words[p * src_rw..(p + 1) * src_rw];
+            let src_row: &[u64] = match dense_src {
+                Some(words) => &words[p * src_rw..(p + 1) * src_rw],
+                None => {
+                    src.row_into(p, &mut scratch);
+                    &scratch
+                }
+            };
             let dst_row = &mut dst_words[p * dst_rw..(p + 1) * dst_rw];
             for (w, &sw) in src_row.iter().enumerate() {
                 if sw == 0 {
@@ -398,35 +601,88 @@ impl BfuMatrix {
     pub(crate) fn merge_or(&mut self, src: &Self) {
         assert_eq!(self.m_bits, src.m_bits, "row counts must match");
         assert_eq!(self.buckets, src.buckets, "column counts must match");
-        let src_words = src.words.as_words();
-        for (d, &s) in self.words.to_mut().iter_mut().zip(src_words) {
-            *d |= s;
+        let rw = self.row_words;
+        let dst_words = self.words_mut();
+        if let MatrixStore::Dense(ws) = &src.store {
+            for (d, &s) in dst_words.iter_mut().zip(ws.as_words()) {
+                *d |= s;
+            }
+        } else {
+            let mut scratch = vec![0u64; rw];
+            for (p, dst_row) in dst_words.chunks_exact_mut(rw).enumerate() {
+                src.row_into(p, &mut scratch);
+                for (d, &s) in dst_row.iter_mut().zip(&scratch) {
+                    *d |= s;
+                }
+            }
         }
     }
 
     /// Total set bits (diagnostics).
     #[allow(dead_code)] // diagnostic helper; exercised by tests
     pub(crate) fn count_ones(&self) -> usize {
-        kernel::popcount(self.words.as_words())
+        match &self.store {
+            MatrixStore::Dense(ws) => kernel::popcount(ws.as_words()),
+            MatrixStore::Rrr(rrr) => rrr.count_ones(),
+            MatrixStore::Paged(_) => {
+                let mut scratch = vec![0u64; self.row_words];
+                (0..self.m_bits)
+                    .map(|p| {
+                        self.row_into(p, &mut scratch);
+                        kernel::popcount(&scratch)
+                    })
+                    .sum()
+            }
+        }
     }
 
-    /// Heap bytes of the matrix payload (a view's borrowed payload counts
-    /// toward its backing buffer).
+    /// Resident bytes of the matrix payload. A view's borrowed payload
+    /// counts toward its backing buffer; a compressed matrix reports its
+    /// encoded footprint; a paged matrix reports its *logical* word extent
+    /// (the on-disk payload it addresses — cache residency is accounted by
+    /// the shared [`PagedFile`], not per matrix).
     pub(crate) fn size_bytes(&self) -> usize {
-        self.words.len() * 8
+        match &self.store {
+            MatrixStore::Dense(ws) => ws.len() * 8,
+            MatrixStore::Rrr(rrr) => rrr.size_bytes(),
+            MatrixStore::Paged(pw) => pw.len() * 8,
+        }
     }
 
-    /// Append the binary encoding. The word payload is preceded by a pad
-    /// byte plus up to 7 zero bytes so it lands 8-byte-aligned *relative to
-    /// the start of `out`* — containers that keep that origin (index files)
-    /// can be re-opened zero-copy via [`BfuMatrix::decode_view`].
+    /// Append the binary encoding. Dense and paged matrices write the
+    /// `RBFM` framing: the word payload is preceded by a pad byte plus up
+    /// to 7 zero bytes so it lands 8-byte-aligned *relative to the start of
+    /// `out`* — containers that keep that origin (index files) can be
+    /// re-opened zero-copy via [`BfuMatrix::decode_view`]. Compressed
+    /// matrices write the `RBFR` framing of [`RrrMatrix`] instead (also a
+    /// whole number of words), which every decode path dispatches on by
+    /// magic.
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
-        out.put_slice(MAGIC);
-        out.put_u64_le(self.m_bits as u64);
-        out.put_u64_le(self.buckets as u64);
-        write_word_padding(out);
-        for &w in self.words.as_words() {
-            out.put_u64_le(w);
+        match &self.store {
+            MatrixStore::Dense(ws) => {
+                out.put_slice(MAGIC);
+                out.put_u64_le(self.m_bits as u64);
+                out.put_u64_le(self.buckets as u64);
+                write_word_padding(out);
+                for &w in ws.as_words() {
+                    out.put_u64_le(w);
+                }
+            }
+            MatrixStore::Rrr(rrr) => rrr.encode_into(out),
+            MatrixStore::Paged(_) => {
+                // Stream the on-disk rows back out as a dense record.
+                out.put_slice(MAGIC);
+                out.put_u64_le(self.m_bits as u64);
+                out.put_u64_le(self.buckets as u64);
+                write_word_padding(out);
+                let mut scratch = vec![0u64; self.row_words];
+                for p in 0..self.m_bits {
+                    self.row_into(p, &mut scratch);
+                    for &w in &scratch {
+                        out.put_u64_le(w);
+                    }
+                }
+            }
         }
     }
 
@@ -455,9 +711,9 @@ impl BfuMatrix {
         let payload_len = n_words
             .checked_mul(8)
             .ok_or_else(|| DecodeError::new("matrix size overflow"))?;
-        if buf.remaining() < payload_len {
-            return Err(DecodeError::new("bfu matrix payload truncated").into());
-        }
+        // NOTE: the payload-presence check lives in the callers — the paged
+        // open path parses this header from a short prefix read and must not
+        // require the payload bytes to be in memory.
         Ok(MatrixHeader {
             m_bits,
             buckets,
@@ -487,8 +743,17 @@ impl BfuMatrix {
     }
 
     /// Decode, advancing the buffer. Copies the payload into owned storage.
+    /// Dispatches on magic: `RBFM` records decode dense, `RBFR` records
+    /// decode into RRR-compressed storage.
     pub(crate) fn decode_from(buf: &mut &[u8]) -> Result<Self, RamboError> {
+        if buf.len() >= 4 && buf[..4] == RrrMatrix::MAGIC {
+            let rrr = RrrMatrix::decode_from(buf)?;
+            return Ok(Self::from_rrr(rrr));
+        }
         let h = Self::decode_header(buf)?;
+        if buf.remaining() < h.payload_len {
+            return Err(DecodeError::new("bfu matrix payload truncated").into());
+        }
         // Bulk chunked decode of the word payload (one pass, no per-element
         // cursor bookkeeping).
         let mut words = Vec::with_capacity(h.n_words);
@@ -503,7 +768,7 @@ impl BfuMatrix {
             m_bits: h.m_bits,
             buckets: h.buckets,
             row_words: h.row_words,
-            words: words.into(),
+            store: MatrixStore::Dense(words.into()),
         })
     }
 
@@ -520,8 +785,19 @@ impl BfuMatrix {
         let mut slice: &[u8] = buf
             .get(*pos..)
             .ok_or_else(|| DecodeError::new("matrix offset out of range"))?;
+        if slice.len() >= 4 && slice[..4] == RrrMatrix::MAGIC {
+            // Compressed records have no zero-copy form: the (class, offset)
+            // streams are decoded into an owned RrrMatrix.
+            let before = slice.len();
+            let rrr = RrrMatrix::decode_from(&mut slice)?;
+            *pos += before - slice.len();
+            return Ok(Self::from_rrr(rrr));
+        }
         let before = slice.len();
         let h = Self::decode_header(&mut slice)?;
+        if slice.remaining() < h.payload_len {
+            return Err(DecodeError::new("bfu matrix payload truncated").into());
+        }
         let word_start = *pos + (before - slice.len());
         let view = WordView::new(buf.clone(), word_start, h.n_words)?;
         Self::check_row_tails(view.as_words(), h.m_bits, h.row_words, h.buckets)?;
@@ -530,7 +806,71 @@ impl BfuMatrix {
             m_bits: h.m_bits,
             buckets: h.buckets,
             row_words: h.row_words,
-            words: WordStore::View(view),
+            store: MatrixStore::Dense(WordStore::View(view)),
+        })
+    }
+
+    /// File-backed decode: parse the matrix record at byte `*pos` of `file`
+    /// reading only its header (one short read), and leave the dense word
+    /// payload on disk behind a [`PagedWords`] that faults row-aligned
+    /// blocks through `file`'s shared cache, charging traffic to
+    /// `counters`. Compressed (`RBFR`) records are decoded eagerly — they
+    /// are small by construction (that is why the tier was compressed) and
+    /// RRR probes need the class/offset streams resident anyway. Advances
+    /// `*pos` past the record.
+    ///
+    /// Paged payload rows are *not* tail-validated at open (that would read
+    /// every row, defeating the O(metadata) open); instead
+    /// [`BfuMatrix::row_into`] masks tail bits on every fault, so dirty
+    /// on-disk tails cannot reach a probe mask.
+    pub(crate) fn decode_paged(
+        file: &Arc<PagedFile>,
+        pos: &mut u64,
+        counters: &Arc<BlockCacheCounters>,
+    ) -> Result<Self, RamboError> {
+        let remaining = file.len().saturating_sub(*pos);
+        // Enough for either header: RBFM needs HEADER_BYTES + 7 pad bytes
+        // (28), RBFR's peek needs its 28-byte fixed prefix + pad (36).
+        let head_len = 36.min(remaining as usize);
+        let head = file
+            .read_bytes(*pos, head_len)
+            .map_err(|e| DecodeError::new(format!("catalog read: {e}")))?;
+        if head.len() >= 4 && head[..4] == RrrMatrix::MAGIC {
+            let total = RrrMatrix::peek_encoded_len(&head)?;
+            if total as u64 > remaining {
+                return Err(DecodeError::new("rrr matrix record truncated").into());
+            }
+            let record = file
+                .read_bytes(*pos, total)
+                .map_err(|e| DecodeError::new(format!("catalog read: {e}")))?;
+            let mut slice = record.as_slice();
+            let rrr = RrrMatrix::decode_from(&mut slice)?;
+            *pos += total as u64;
+            return Ok(Self::from_rrr(rrr));
+        }
+        let mut slice = head.as_slice();
+        let before = slice.len();
+        let h = Self::decode_header(&mut slice)?;
+        let word_start = *pos + (before - slice.len()) as u64;
+        let end = word_start
+            .checked_add(h.payload_len as u64)
+            .ok_or_else(|| DecodeError::new("matrix size overflow"))?;
+        if end > file.len() {
+            return Err(DecodeError::new("bfu matrix payload truncated").into());
+        }
+        let paged = PagedWords::new(
+            file.clone(),
+            word_start,
+            h.n_words,
+            h.row_words,
+            counters.clone(),
+        )?;
+        *pos = end;
+        Ok(Self {
+            m_bits: h.m_bits,
+            buckets: h.buckets,
+            row_words: h.row_words,
+            store: MatrixStore::Paged(paged),
         })
     }
 }

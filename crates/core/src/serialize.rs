@@ -31,7 +31,7 @@ use crate::matrix::BfuMatrix;
 use crate::params::RamboParams;
 use crate::partition::{derive_seeds, PartitionScheme, Resolver};
 use bytes::{Buf, BufMut};
-use rambo_bitvec::DecodeError;
+use rambo_bitvec::{BlockCacheCounters, DecodeError, PagedFile};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"RMB1";
@@ -338,6 +338,74 @@ impl Rambo {
         Ok((index, pos - offset))
     }
 
+    /// File-backed load: parse the index record at byte `offset` of `file`
+    /// reading *only metadata* — the prelude (geometry + document names),
+    /// the per-table assignment vectors, and one fixed-size header per
+    /// matrix record. Dense word payloads stay on disk and are faulted in
+    /// row-aligned blocks through `file`'s shared cache on first probe;
+    /// compressed (`RBFR`) tiers decode eagerly (they are small by
+    /// construction). Open time is therefore independent of the dense
+    /// payload size — the O(metadata) open behind the paper's "170TB on
+    /// disk, queried in milliseconds" serving story.
+    ///
+    /// Cache traffic for every matrix of this index is charged to
+    /// `counters` (a serving catalog passes one set per tier). Returns the
+    /// index and the number of bytes its record occupied, mirroring
+    /// [`Rambo::open_view_at`].
+    ///
+    /// # Errors
+    /// [`RamboError::Decode`] on malformed metadata, out-of-range offsets,
+    /// or payloads overrunning the file. Dense payload *words* are not
+    /// validated at open (row tails are masked at fault time instead).
+    pub fn open_paged_at(
+        file: &Arc<PagedFile>,
+        offset: u64,
+        counters: &Arc<BlockCacheCounters>,
+    ) -> Result<(Self, u64), RamboError> {
+        if offset > file.len() {
+            return Err(DecodeError::new("index offset out of range").into());
+        }
+        // The prelude is metadata-sized but not fixed-size (document names).
+        // Read a growing prefix until it parses or provably cannot: a failed
+        // parse of a chunk that already reaches EOF is a real error.
+        let mut chunk_len = (64 << 10).min((file.len() - offset) as usize);
+        let prelude = loop {
+            let chunk = file
+                .read_bytes(offset, chunk_len)
+                .map_err(|e| DecodeError::new(format!("catalog read: {e}")))?;
+            let mut slice = chunk.as_slice();
+            match decode_prelude(&mut slice) {
+                Ok(p) => break (p, chunk_len - slice.len()),
+                Err(e) if offset + chunk_len as u64 >= file.len() => return Err(e),
+                Err(_) => chunk_len = (chunk_len * 2).min((file.len() - offset) as usize),
+            }
+        };
+        let (prelude, prelude_len) = prelude;
+        let k = prelude.doc_names.len();
+        let mut index = skeleton(&prelude);
+        let mut pos = offset + prelude_len as u64;
+        for table in &mut index.tables {
+            let assign_len = 4 * k;
+            if pos + assign_len as u64 > file.len() {
+                return Err(DecodeError::new("truncated while reading assignment vector").into());
+            }
+            let bytes = file
+                .read_bytes(pos, assign_len)
+                .map_err(|e| DecodeError::new(format!("catalog read: {e}")))?;
+            let assign: Vec<u32> = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                .collect();
+            pos += assign_len as u64;
+            install_assignments(table, assign, prelude.current_buckets)?;
+            let matrix = BfuMatrix::decode_paged(file, &mut pos, counters)?;
+            check_matrix(&matrix, prelude.params.bfu_bits, prelude.current_buckets)?;
+            table.matrix = matrix;
+        }
+        install_names(&mut index, prelude.doc_names)?;
+        Ok((index, pos - offset))
+    }
+
     /// True when every table's word payload is a zero-copy view into a
     /// shared buffer (i.e. the index came from [`Rambo::open_view`] and has
     /// not been written to).
@@ -514,6 +582,37 @@ mod tests {
         assert_eq!(v_full, full);
         assert_eq!(v_folded, folded);
         assert!(v_full.payload_borrows(&arc) && v_folded.payload_borrows(&arc));
+    }
+
+    #[test]
+    fn open_paged_matches_in_memory_load() {
+        let r = build_sample();
+        let bytes = r.to_bytes().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "rambo-open-paged-{}-{}.idx",
+            std::process::id(),
+            bytes.len()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        let file = PagedFile::open(&path, 1 << 20).unwrap();
+        let counters = Arc::new(BlockCacheCounters::new());
+        let (paged, used) = Rambo::open_paged_at(&file, 0, &counters).unwrap();
+        assert_eq!(used, bytes.len() as u64);
+        assert!(paged.tables_paged(), "payloads must stay on disk");
+        // No payload block faulted yet: the open read metadata only.
+        assert_eq!(counters.snapshot().misses, 0);
+        for t in [0u64, 5, (3 << 16) | 2, 0xBEEF] {
+            assert_eq!(paged.query_u64(t), r.query_u64(t), "term {t}");
+        }
+        let snap = counters.snapshot();
+        assert!(snap.misses > 0, "queries must fault payload blocks");
+        assert_eq!(paged, r, "paged index is logically the source");
+        // Truncated file: the open itself fails on the overrunning payload.
+        let cut = bytes.len() / 2;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let file2 = PagedFile::open(&path, 1 << 20).unwrap();
+        assert!(Rambo::open_paged_at(&file2, 0, &counters).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

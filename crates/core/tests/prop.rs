@@ -418,6 +418,103 @@ proptest! {
         prop_assert_eq!(report.shards as usize, shards);
     }
 
+    /// RRR-compressed storage is lossless: for any archive, geometry and
+    /// fold level, compressing every table answers each query (Full and
+    /// Sparse, present and absent terms) **bit-identically** to the dense
+    /// original — and the compressed index round-trips through v2
+    /// serialization back to logical equality.
+    #[test]
+    fn rrr_compressed_index_equals_dense(
+        archive in archive_strategy(12),
+        b in 2u64..12,
+        r in 1usize..4,
+        folds in 0u32..2,
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 1..15),
+    ) {
+        let mut dense = build(RamboParams::flat(b << folds, r, 1 << 10, 2, seed), &archive);
+        dense.fold_times(folds).unwrap();
+        let mut compressed = dense.clone();
+        compressed.compress_to_rrr();
+        prop_assert!(compressed.is_compressed());
+        prop_assert_eq!(&compressed, &dense, "logical equality across backends");
+
+        let mut all_probes = probes;
+        all_probes.extend(archive.docs.iter().flat_map(|(_, ts)| ts.iter().take(2).copied()));
+        let mut ctx_d = QueryContext::new();
+        let mut ctx_c = QueryContext::new();
+        for &t in &all_probes {
+            for mode in [QueryMode::Full, QueryMode::Sparse] {
+                prop_assert_eq!(
+                    dense.query_terms_with(&[t], mode, &mut ctx_d),
+                    compressed.query_terms_with(&[t], mode, &mut ctx_c),
+                    "mode {:?} term {:#x}", mode, t
+                );
+            }
+        }
+        let q: Vec<u64> = all_probes.iter().take(4).copied().collect();
+        prop_assert_eq!(
+            dense.query_terms_with(&q, QueryMode::Full, &mut ctx_d),
+            compressed.query_terms_with(&q, QueryMode::Full, &mut ctx_c)
+        );
+
+        // v2 roundtrip of the compressed form decodes back to equality.
+        let back = Rambo::from_bytes(&compressed.to_bytes().unwrap()).unwrap();
+        prop_assert_eq!(&back, &dense);
+    }
+
+    /// The paged (file-backed) load path answers every query exactly like
+    /// the in-memory copy, for fuzzed archives, geometries and fold levels:
+    /// block-cache faulting may never change a bit of any result.
+    #[test]
+    fn paged_load_equals_in_memory(
+        archive in archive_strategy(10),
+        b in 2u64..10,
+        r in 1usize..4,
+        folds in 0u32..2,
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+
+        let mut idx = build(RamboParams::flat(b << folds, r, 1 << 10, 2, seed), &archive);
+        idx.fold_times(folds).unwrap();
+        let bytes = idx.to_bytes().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "rambo-prop-paged-{}-{}.cat",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let file = rambo_bitvec::PagedFile::open(&path, 1 << 20).unwrap();
+        let counters = Arc::new(rambo_bitvec::BlockCacheCounters::new());
+        let (paged, used) = Rambo::open_paged_at(&file, 0, &counters).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(used, bytes.len() as u64);
+        prop_assert_eq!(&paged, &idx, "paged index must equal the source");
+
+        let mut all_probes = probes;
+        all_probes.extend(archive.docs.iter().flat_map(|(_, ts)| ts.iter().take(2).copied()));
+        let mut ctx_m = QueryContext::new();
+        let mut ctx_p = QueryContext::new();
+        for &t in &all_probes {
+            for mode in [QueryMode::Full, QueryMode::Sparse] {
+                prop_assert_eq!(
+                    idx.query_terms_with(&[t], mode, &mut ctx_m),
+                    paged.query_terms_with(&[t], mode, &mut ctx_p),
+                    "mode {:?} term {:#x}", mode, t
+                );
+            }
+        }
+        let q: Vec<u64> = all_probes.iter().take(4).copied().collect();
+        prop_assert_eq!(
+            idx.query_terms_with(&q, QueryMode::Full, &mut ctx_m),
+            paged.query_terms_with(&q, QueryMode::Full, &mut ctx_p)
+        );
+    }
+
     /// Multi-term queries (Algorithm 2 semantics) always contain every
     /// document holding *all* the queried terms.
     #[test]

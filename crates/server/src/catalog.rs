@@ -10,7 +10,9 @@
 //! *borrow* their filter payloads from one `Arc<[u8]>` — opening a catalog
 //! costs metadata, not payload, no matter how many tiers it holds.
 
-use rambo_core::{theory, Rambo, RamboError};
+use rambo_bitvec::{BlockCacheCounters, BlockCacheSnapshot, PagedFile};
+use rambo_core::{theory, Rambo, RamboError, TierCompression};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Term multiplicity assumed when predicting a tier's false-positive rate.
@@ -51,11 +53,25 @@ pub struct TierInfo {
     pub predicted_fpr: f64,
 }
 
-/// One tier: the zero-copy index view plus its description.
+/// One tier: the opened index plus its description. Paged tiers also carry
+/// the block-cache counters their payload faults are charged to.
 #[derive(Debug)]
 struct Tier {
     index: Rambo,
     info: TierInfo,
+    block_counters: Option<Arc<BlockCacheCounters>>,
+}
+
+/// Where a catalog's tier payloads live.
+#[derive(Debug)]
+enum Source {
+    /// One shared in-memory buffer; tiers borrow their payloads zero-copy.
+    Buffer(Arc<[u8]>),
+    /// A file on disk; dense tier payloads fault through the shared block
+    /// cache on demand. The `Arc` is held only to pin the file (and its
+    /// block cache) to the catalog's lifetime — every paged tier carries
+    /// its own clone, so nothing reads this field directly.
+    Paged(#[allow(dead_code)] Arc<PagedFile>),
 }
 
 /// An ordered set of fold-over versions of one index, sharing a single
@@ -69,7 +85,7 @@ struct Tier {
 /// quantifies.
 #[derive(Debug)]
 pub struct Catalog {
-    buf: Arc<[u8]>,
+    source: Source,
     tiers: Vec<Tier>,
 }
 
@@ -84,6 +100,20 @@ impl Catalog {
     /// raise.
     pub fn build(base: &Rambo, tier_buckets: &[u64]) -> Result<Self, RamboError> {
         let bytes = base.fold_catalog_bytes(tier_buckets)?;
+        Self::open(bytes.into())
+    }
+
+    /// [`Catalog::build`] with a per-tier compression flag
+    /// ([`rambo_core::Rambo::fold_catalog_bytes_with`]): `Rrr` tiers
+    /// serialize and serve RRR-compressed, `Dense` tiers keep the zero-copy
+    /// word layout. The usual serving shape compresses the cold unfolded
+    /// tier 0 (large and sparse — where RRR wins) and keeps hot folded
+    /// tiers dense on the kernel fast path.
+    ///
+    /// # Errors
+    /// Everything [`Catalog::build`] can raise.
+    pub fn build_with(base: &Rambo, tiers: &[(u64, TierCompression)]) -> Result<Self, RamboError> {
+        let bytes = base.fold_catalog_bytes_with(tiers)?;
         Self::open(bytes.into())
     }
 
@@ -132,44 +162,66 @@ impl Catalog {
         let mut offset = 0;
         while offset < buf.len() {
             let (index, used) = Rambo::open_view_at(&buf, offset)?;
-            if let Some(prev) = tiers.last() {
-                let prev: &Tier = prev;
-                if index.buckets() >= prev.info.buckets {
-                    return Err(RamboError::InvalidParams(format!(
-                        "catalog tiers must shrink: tier {} has {} buckets after {}",
-                        tiers.len(),
-                        index.buckets(),
-                        prev.info.buckets
-                    )));
-                }
-            }
-            // Metadata-only FPR prediction (see [`TierInfo::bfu_fpr`]):
-            // mean keys per BFU ≈ recorded insertions / current buckets.
-            let keys_per_bucket = (index.total_inserts() / index.buckets().max(1)) as usize;
-            let bfu_fpr =
-                theory::bfu_fpr(index.params().bfu_bits, keys_per_bucket, index.params().eta);
-            let info = TierInfo {
-                tier: tiers.len(),
-                fold_factor: index.fold_factor(),
-                buckets: index.buckets(),
-                offset,
-                encoded_len: used,
-                size_bytes: index.size_bytes(),
-                bfu_fpr,
-                predicted_fpr: theory::per_doc_fpr(
-                    bfu_fpr,
-                    index.buckets(),
-                    CATALOG_FPR_V,
-                    index.repetitions(),
-                ),
-            };
-            tiers.push(Tier { index, info });
+            check_shrinking(&tiers, &index)?;
+            let info = tier_info(&index, tiers.len(), offset, used);
+            tiers.push(Tier {
+                index,
+                info,
+                block_counters: None,
+            });
             offset += used;
         }
         if tiers.is_empty() {
             return Err(RamboError::InvalidParams("empty catalog buffer".into()));
         }
-        Ok(Self { buf, tiers })
+        Ok(Self {
+            source: Source::Buffer(buf),
+            tiers,
+        })
+    }
+
+    /// Open a catalog **file** reading only metadata: each tier's prelude,
+    /// assignment vectors and matrix headers are parsed, while dense filter
+    /// payloads stay on disk and are faulted in row-aligned blocks through
+    /// one shared, byte-budgeted block cache (`cache_bytes` total) on first
+    /// probe. Open time is O(metadata) — independent of how many gigabytes
+    /// of filter payload the tiers hold. Per-tier cache traffic is
+    /// observable via [`Catalog::block_cache_stats`].
+    ///
+    /// RRR-compressed tiers in the file decode eagerly at open (they are
+    /// small by construction) and serve from memory, uncached.
+    ///
+    /// # Errors
+    /// I/O failures surface as [`RamboError::Decode`], plus everything
+    /// [`Catalog::open`] can raise on malformed metadata.
+    pub fn open_paged(path: impl AsRef<Path>, cache_bytes: usize) -> Result<Self, RamboError> {
+        let file = PagedFile::open(path, cache_bytes).map_err(|e| {
+            RamboError::Decode(rambo_bitvec::DecodeError::new(format!("catalog open: {e}")))
+        })?;
+        let mut tiers = Vec::new();
+        let mut offset = 0u64;
+        while offset < file.len() {
+            let counters = Arc::new(BlockCacheCounters::new());
+            let (index, used) = Rambo::open_paged_at(&file, offset, &counters)?;
+            check_shrinking(&tiers, &index)?;
+            let info = tier_info(&index, tiers.len(), offset as usize, used as usize);
+            // A tier that decoded eagerly (RRR) never touches the cache;
+            // only paged tiers report counters.
+            let block_counters = index.tables_paged().then_some(counters);
+            tiers.push(Tier {
+                index,
+                info,
+                block_counters,
+            });
+            offset += used;
+        }
+        if tiers.is_empty() {
+            return Err(RamboError::InvalidParams("empty catalog file".into()));
+        }
+        Ok(Self {
+            source: Source::Paged(file),
+            tiers,
+        })
     }
 
     /// Number of tiers.
@@ -185,10 +237,38 @@ impl Catalog {
     }
 
     /// The shared backing buffer (for persisting: write these bytes to disk
-    /// and re-open them with [`Catalog::open`]).
+    /// and re-open them with [`Catalog::open`] or [`Catalog::open_paged`]).
+    ///
+    /// # Panics
+    /// Panics for a paged catalog — its payloads live in the file, not in
+    /// memory; persist by copying the file.
     #[must_use]
     pub fn buffer(&self) -> &Arc<[u8]> {
-        &self.buf
+        match &self.source {
+            Source::Buffer(buf) => buf,
+            Source::Paged(_) => panic!("paged catalogs have no in-memory buffer"),
+        }
+    }
+
+    /// True when this catalog serves payloads from a file through the
+    /// block cache ([`Catalog::open_paged`]).
+    #[must_use]
+    pub fn is_paged(&self) -> bool {
+        matches!(self.source, Source::Paged(_))
+    }
+
+    /// Block-cache traffic charged to one tier's payload faults, or `None`
+    /// for tiers that serve from memory (buffer-backed catalogs, and
+    /// RRR-compressed tiers of a paged catalog).
+    ///
+    /// # Panics
+    /// Panics when `tier` is out of range.
+    #[must_use]
+    pub fn block_cache_stats(&self, tier: usize) -> Option<BlockCacheSnapshot> {
+        self.tiers[tier]
+            .block_counters
+            .as_ref()
+            .map(|c| c.snapshot())
     }
 
     /// A tier's index.
@@ -225,6 +305,44 @@ impl Catalog {
             .iter()
             .rposition(|t| t.info.predicted_fpr <= fpr_budget)
             .unwrap_or(0)
+    }
+}
+
+/// Reject a tier that does not strictly shrink the bucket count.
+fn check_shrinking(tiers: &[Tier], index: &Rambo) -> Result<(), RamboError> {
+    if let Some(prev) = tiers.last() {
+        if index.buckets() >= prev.info.buckets {
+            return Err(RamboError::InvalidParams(format!(
+                "catalog tiers must shrink: tier {} has {} buckets after {}",
+                tiers.len(),
+                index.buckets(),
+                prev.info.buckets
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Describe one opened tier. Metadata-only FPR prediction (see
+/// [`TierInfo::bfu_fpr`]): mean keys per BFU ≈ recorded insertions /
+/// current buckets.
+fn tier_info(index: &Rambo, tier: usize, offset: usize, encoded_len: usize) -> TierInfo {
+    let keys_per_bucket = (index.total_inserts() / index.buckets().max(1)) as usize;
+    let bfu_fpr = theory::bfu_fpr(index.params().bfu_bits, keys_per_bucket, index.params().eta);
+    TierInfo {
+        tier,
+        fold_factor: index.fold_factor(),
+        buckets: index.buckets(),
+        offset,
+        encoded_len,
+        size_bytes: index.size_bytes(),
+        bfu_fpr,
+        predicted_fpr: theory::per_doc_fpr(
+            bfu_fpr,
+            index.buckets(),
+            CATALOG_FPR_V,
+            index.repetitions(),
+        ),
     }
 }
 
@@ -315,6 +433,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn temp_catalog_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rambo-catalog-{tag}-{}.cat", std::process::id()))
+    }
+
+    #[test]
+    fn open_paged_matches_buffer_catalog() {
+        let base = build_base(256, 120, 6);
+        let cat = Catalog::build_halving(&base, 2).unwrap();
+        let path = temp_catalog_path("paged");
+        std::fs::write(&path, cat.buffer()).unwrap();
+        let paged = Catalog::open_paged(&path, 1 << 20).unwrap();
+        assert!(paged.is_paged());
+        assert_eq!(paged.len(), cat.len());
+        for t in 0..cat.len() {
+            assert_eq!(paged.info(t), cat.info(t), "tier {t} info");
+            // Nothing faulted at open.
+            assert_eq!(paged.block_cache_stats(t).unwrap().misses, 0);
+        }
+        // Queries answer identically and fault blocks as they go.
+        for d in [0usize, 33, 119] {
+            let term = ((d as u64) << 24) | 7;
+            for t in 0..cat.len() {
+                assert_eq!(
+                    paged.tier(t).query_u64(term),
+                    cat.tier(t).query_u64(term),
+                    "tier {t} doc {d}"
+                );
+            }
+        }
+        assert!(paged.block_cache_stats(0).unwrap().misses > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn paged_catalog_with_compressed_cold_tier() {
+        let base = build_base(256, 120, 7);
+        let bytes = base
+            .fold_catalog_bytes_with(&[(256, TierCompression::Rrr), (64, TierCompression::Dense)])
+            .unwrap();
+        let path = temp_catalog_path("mixed");
+        std::fs::write(&path, &bytes).unwrap();
+        let paged = Catalog::open_paged(&path, 1 << 20).unwrap();
+        assert_eq!(paged.len(), 2);
+        // RRR tier decoded eagerly → no block counters; dense tier paged.
+        assert!(paged.tier(0).is_compressed());
+        assert!(paged.block_cache_stats(0).is_none());
+        assert!(paged.tier(1).tables_paged());
+        assert!(paged.block_cache_stats(1).is_some());
+        let buffered = Catalog::open(bytes.into()).unwrap();
+        for d in [3usize, 77] {
+            let term = ((d as u64) << 24) | 2;
+            for t in 0..2 {
+                assert_eq!(
+                    paged.tier(t).query_u64(term),
+                    buffered.tier(t).query_u64(term)
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn build_with_compresses_requested_tiers() {
+        let base = build_base(256, 120, 8);
+        let cat = Catalog::build_with(
+            &base,
+            &[(256, TierCompression::Rrr), (64, TierCompression::Dense)],
+        )
+        .unwrap();
+        assert!(cat.tier(0).is_compressed());
+        assert!(!cat.tier(1).is_compressed());
+        let dense = Catalog::build(&base, &[256, 64]).unwrap();
+        assert!(
+            cat.info(0).encoded_len < dense.info(0).encoded_len,
+            "compressed tier must encode smaller"
+        );
+        assert_eq!(cat.info(1).encoded_len, dense.info(1).encoded_len);
     }
 
     #[test]

@@ -587,7 +587,10 @@ impl<'env> ServerHandle<'env> {
                 .lanes
                 .iter()
                 .enumerate()
-                .map(|(t, lane)| lane.counters.snapshot(self.catalog.info(t)))
+                .map(|(t, lane)| {
+                    lane.counters
+                        .snapshot(self.catalog.info(t), self.catalog.block_cache_stats(t))
+                })
                 .collect(),
             slow_queries: self.slow.snapshot(),
             cache: self.cache.map(ResultCache::stats),
@@ -719,7 +722,7 @@ impl Server {
             tiers: counters
                 .iter()
                 .enumerate()
-                .map(|(t, c)| c.snapshot(catalog.info(t)))
+                .map(|(t, c)| c.snapshot(catalog.info(t), catalog.block_cache_stats(t)))
                 .collect(),
             slow_queries: slow.snapshot(),
             cache: cache.as_ref().map(ResultCache::stats),

@@ -11,6 +11,7 @@
 
 use crate::cache::CacheStats;
 use crate::catalog::TierInfo;
+use rambo_bitvec::BlockCacheSnapshot;
 use rambo_workloads::stats::LatencyHistogram;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,10 +81,15 @@ impl TierCounters {
         self.latency.clear();
     }
 
-    pub(crate) fn snapshot(&self, info: &TierInfo) -> TierStats {
+    pub(crate) fn snapshot(
+        &self,
+        info: &TierInfo,
+        block_cache: Option<BlockCacheSnapshot>,
+    ) -> TierStats {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched.load(Ordering::Relaxed);
         TierStats {
+            block_cache,
             tier: info.tier,
             buckets: info.buckets,
             predicted_fpr: info.predicted_fpr,
@@ -151,6 +157,9 @@ pub struct TierStats {
     pub max_queue_depth: u64,
     /// Total documents returned.
     pub hits: u64,
+    /// Block-cache traffic of this tier's file-backed payload (hits,
+    /// misses, evictions); `None` when the tier serves from memory.
+    pub block_cache: Option<BlockCacheSnapshot>,
     /// Mean submit→completion latency.
     pub mean: Duration,
     /// Median submit→completion latency (log-linear histogram, ≤12.5% off).
@@ -340,6 +349,17 @@ impl fmt::Display for ServerStats {
                 t.p99.as_micros(),
                 t.max.as_micros(),
             )?;
+            if let Some(b) = &t.block_cache {
+                writeln!(
+                    f,
+                    "tier {}: blocks hits={} misses={} evictions={} hit_ratio={:.3}",
+                    t.tier,
+                    b.hits,
+                    b.misses,
+                    b.evictions,
+                    b.hit_ratio(),
+                )?;
+            }
         }
         writeln!(
             f,

@@ -104,6 +104,21 @@ impl CacheSnapshot {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counter-wise sum of two snapshots — aggregate several caches (or
+    /// the same cache across monitoring windows) into one set of totals.
+    /// Saturating, so merging cannot panic on adversarial inputs.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+            insertions: self.insertions.saturating_add(other.insertions),
+            evictions: self.evictions.saturating_add(other.evictions),
+            stale: self.stale.saturating_add(other.stale),
+            bytes: self.bytes.saturating_add(other.bytes),
+        }
+    }
 }
 
 impl CacheTelemetry {
@@ -239,5 +254,37 @@ mod tests {
         assert_eq!(CacheSnapshot::default().hit_ratio(), 0.0);
         t.clear();
         assert_eq!(t.snapshot(), CacheSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters() {
+        let a = CacheSnapshot {
+            hits: 3,
+            misses: 1,
+            insertions: 2,
+            evictions: 1,
+            stale: 0,
+            bytes: 100,
+        };
+        let b = CacheSnapshot {
+            hits: 1,
+            misses: 3,
+            insertions: 1,
+            evictions: 0,
+            stale: 2,
+            bytes: 50,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.hits, 4);
+        assert_eq!(m.misses, 4);
+        assert_eq!(m.insertions, 3);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.stale, 2);
+        assert_eq!(m.bytes, 150);
+        assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            CacheSnapshot::default().merged(&CacheSnapshot::default()),
+            CacheSnapshot::default()
+        );
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench-regression gate: run the four benchmark binaries at their canonical
+# Bench-regression gate: run the five benchmark binaries at their canonical
 # (default-flag) sizes and compare each BENCH_*.json headline metric against
 # the committed baselines in scripts/bench_baselines/. Fails (exit 1) when a
 # headline metric regresses by more than TOLERANCE_PCT.
@@ -40,6 +40,7 @@ BENCH_probe.json|speedup_vectorized_vs_scalar
 BENCH_serve.json|batched_qps_speedup_vs_one_at_a_time
 BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time
 BENCH_serve.json|batched_p99_speedup_vs_always_batch
+BENCH_storage.json|hot_over_cold_query_speedup
 "
 
 # file | metric | absolute floor — design targets that hold regardless of
@@ -50,17 +51,24 @@ BENCH_serve.json|batched_p99_speedup_vs_always_batch
 # is applied below the floor so single-core scheduler jitter does not
 # fail a structurally-sound build; a real design regression sits well
 # below floor*(1-tol) twice in a row.
+#
+# Storage floors: dense_over_rrr_bits_per_doc >= 1.667 is the acceptance
+# criterion "RRR cold tier <= 0.6x the dense bits/doc" (deterministic —
+# same seed, same sizes); cold_query_headroom >= 1.0 holds a cold
+# (all-faulting) query under the 20ms serving ceiling on a 128MB catalog.
 ABS_CHECKS="
 BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time|1.0
 BENCH_serve.json|batched_p99_speedup_vs_always_batch|1.0
 BENCH_serve.json|cache_hit_p50_speedup|5.0
+BENCH_storage.json|dense_over_rrr_bits_per_doc|1.667
+BENCH_storage.json|cold_query_headroom|1.0
 "
 
 # Canonical runs: default flags except a fixed seed — these sizes are what
 # the committed baselines were recorded with. Keep flags here and baseline
 # regeneration (--update) in lockstep.
 run_benches() {
-    for bin in ingest_throughput batch_query probe_kernel serve_load; do
+    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold; do
         echo "+ cargo run --release -p rambo-bench --bin $bin" >&2
         cargo run --release -p rambo-bench --bin "$bin" >/dev/null
     done
@@ -76,7 +84,7 @@ run_benches
 
 if [ "${1:-}" = "--update" ]; then
     mkdir -p "$BASELINE_DIR"
-    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json; do
+    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json; do
         cp "$f" "$BASELINE_DIR/$f"
         echo "blessed $BASELINE_DIR/$f"
     done
@@ -90,6 +98,7 @@ bin_of() {
         BENCH_batch_query.json) echo batch_query ;;
         BENCH_probe.json) echo probe_kernel ;;
         BENCH_serve.json) echo serve_load ;;
+        BENCH_storage.json) echo storage_cold ;;
     esac
 }
 

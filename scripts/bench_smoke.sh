@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke-run the four throughput benchmark binaries with small, fast
+# Smoke-run the five throughput benchmark binaries with small, fast
 # workloads. This script is the single source of truth for the smoke flags:
 # CI's test job runs it verbatim, and a local `scripts/bench_smoke.sh`
 # executes exactly what CI does.
@@ -34,3 +34,9 @@ run cargo run --release -p rambo-bench --bin probe_kernel -- \
 run cargo run --release -p rambo-bench --bin serve_load -- \
     --docs 120 --mean-terms 800 --queries 800 --window 32 \
     --loads 1,2,8 --tcp
+# storage-smoke: dense vs RRR tier sizes with result-parity asserts, then a
+# small on-disk catalog opened paged (cold) and re-queried hot through the
+# block cache, with paged-vs-buffered parity asserts throughout.
+run cargo run --release -p rambo-bench --bin storage_cold -- \
+    --docs 60 --terms 300 --buckets 256 \
+    --paged-docs 16 --paged-terms 120 --paged-m-bits 16 --queries 64
