@@ -1,0 +1,246 @@
+//! Distributed-serving benchmark: a coordinator scatter-gathering over K
+//! loopback shard servers, swept across shard counts, plus replica
+//! failover and degraded-mode phases.
+//!
+//! Three phases, all over real TCP sockets:
+//!
+//! 1. **Scaling sweep** — for every shard count in `--nodes`, plan one
+//!    corpus into node-local shards (§4.2 two-level partition), spawn
+//!    `--replicas` replicas of each, and drive the query mix through a
+//!    [`rambo_cluster::Coordinator`]. Every single answer is asserted
+//!    bit-identical to the stacked monolith's (`scatter_parity_ok` is a
+//!    hard gate, not a sample); p50/p99 end-to-end latency and the hedge
+//!    fire rate are reported per shard count.
+//! 2. **Failover** — at the largest shard count, kill one replica of
+//!    shard 0 mid-load and keep querying. The gate is *zero* failed
+//!    queries (`replica_kill_success`); the time until the coordinator
+//!    demotes the dead replica is reported as `failover_demotion_ms`.
+//! 3. **Degraded mode** — kill the rest of shard 0's replica set. Every
+//!    query must still return `Ok` (`degraded_availability = 1.0`), with
+//!    the dead shard listed in `degraded` and the partial answer equal to
+//!    the monolith's minus that shard's document range.
+//!
+//! Emits `BENCH_cluster.json`.
+//!
+//! ```text
+//! cargo run --release -p rambo-bench --bin cluster_serve -- \
+//!     --docs 60 --queries 300 --nodes 1,2,4 --replicas 2
+//! ```
+
+use rambo_bench::{require_nonzero, us_per, Args, JsonReport};
+use rambo_cluster::{plan_cluster, ClusterConfig, ClusterPlan, Coordinator, ShardNode};
+use rambo_core::{QueryMode, RamboParams};
+use rambo_server::ServerConfig;
+use rambo_workloads::stats::percentile;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-document terms: a shared prefix (multi-doc hits) plus private runs.
+fn corpus(docs: u64, terms_per_doc: u64, seed: u64) -> Vec<(String, Vec<u64>)> {
+    (0..docs)
+        .map(|d| {
+            let terms = (0..3u64)
+                .map(|t| seed << 40 | 0xABC0 | t)
+                .chain((3..terms_per_doc).map(|t| seed << 40 | d << 16 | t))
+                .collect();
+            (format!("doc{d}"), terms)
+        })
+        .collect()
+}
+
+/// Planted intersections, the shared set, and absent terms, cycled to `n`.
+fn query_mix(docs: u64, seed: u64, n: usize) -> Vec<Vec<u64>> {
+    let mut base: Vec<Vec<u64>> = (0..docs)
+        .map(|d| (3..7u64).map(|t| seed << 40 | d << 16 | t).collect())
+        .collect();
+    base.push(vec![seed << 40 | 0xABC0, seed << 40 | 0xABC1]);
+    base.push(vec![0x7777_0001, 0x7777_0002]);
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
+}
+
+fn spawn_nodes(plan: &ClusterPlan, replicas: u32) -> Vec<Vec<ShardNode>> {
+    plan.shards
+        .iter()
+        .zip(&plan.ranges)
+        .enumerate()
+        .map(|(s, (shard, &(lo, hi)))| {
+            (0..replicas)
+                .map(|r| {
+                    ShardNode::spawn(shard.clone(), s as u32, r, lo, hi, ServerConfig::default())
+                        .expect("spawn shard node")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn topology(nodes: &[Vec<ShardNode>]) -> Vec<Vec<SocketAddr>> {
+    nodes
+        .iter()
+        .map(|reps| reps.iter().map(ShardNode::addr).collect())
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let docs = args.get_usize("docs", 60) as u64;
+    let terms_per_doc = args.get_usize("terms-per-doc", 24) as u64;
+    let local_b = args.get_usize("local-b", 16) as u64;
+    let reps = args.get_usize("reps", 3);
+    let replicas = args.get_usize("replicas", 2).max(1) as u32;
+    let n_queries = args.get_usize("queries", 300);
+    let shard_counts = args.get_usize_list("nodes", &[1, 2, 4]);
+    let seed = args.get_u64("seed", 11);
+    require_nonzero(
+        "cluster_serve",
+        &[
+            ("--docs", docs as usize),
+            ("--queries", n_queries),
+            ("--terms-per-doc", terms_per_doc as usize),
+        ],
+    );
+    if shard_counts.is_empty() || shard_counts.contains(&0) {
+        eprintln!("cluster_serve: --nodes must list shard counts >= 1");
+        std::process::exit(2);
+    }
+
+    let corpus = corpus(docs, terms_per_doc, seed);
+    let queries = query_mix(docs, seed, n_queries);
+    let mut report = JsonReport::new("cluster_serve");
+    report
+        .int("docs", docs)
+        .int("queries", n_queries as u64)
+        .int("replicas", u64::from(replicas))
+        .int("local_buckets", local_b);
+
+    // Phase 1: scaling sweep with per-query parity assertions.
+    let mut parity_ok = true;
+    for &n_shards in &shard_counts {
+        let params = RamboParams::two_level(n_shards as u64, local_b, reps, 1 << 12, 2, seed);
+        let plan = plan_cluster(params, &corpus).expect("plan cluster");
+        let nodes = spawn_nodes(&plan, replicas);
+        let coordinator =
+            Coordinator::connect(&topology(&nodes), ClusterConfig::default()).expect("connect");
+        let mut lat = Vec::with_capacity(queries.len());
+        for terms in &queries {
+            let start = Instant::now();
+            let reply = coordinator.query(terms, 0.0, DEADLINE).expect("query");
+            lat.push(us_per(start.elapsed(), 1));
+            let mono = plan.monolith.query_terms_u64(terms, QueryMode::Full);
+            if reply.docs != mono || !reply.degraded.is_empty() {
+                parity_ok = false;
+                eprintln!("PARITY FAILURE at {n_shards} shards, terms {terms:?}");
+            }
+        }
+        let stats = coordinator.stats();
+        let hedge_rate = stats.total_hedges() as f64 / stats.queries.max(1) as f64;
+        let (p50, p99) = (percentile(&lat, 50.0), percentile(&lat, 99.0));
+        eprintln!(
+            "shards={n_shards:<2} p50 {p50:>8.1} us   p99 {p99:>9.1} us   hedge rate {hedge_rate:.3}"
+        );
+        report
+            .num(&format!("n{n_shards}_p50_us"), p50)
+            .num(&format!("n{n_shards}_p99_us"), p99)
+            .num(&format!("n{n_shards}_hedge_rate"), hedge_rate);
+    }
+    report.num("scatter_parity_ok", if parity_ok { 1.0 } else { 0.0 });
+    assert!(parity_ok, "scatter-gather diverged from the monolith");
+
+    // Phases 2 and 3 need a replica to lose; a 1-replica run can still do
+    // the sweep above, but the resilience gates require --replicas >= 2.
+    let max_shards = shard_counts.iter().copied().max().expect("non-empty");
+    let params = RamboParams::two_level(max_shards as u64, local_b, reps, 1 << 12, 2, seed);
+    let plan = plan_cluster(params, &corpus).expect("plan cluster");
+    let mut nodes = spawn_nodes(&plan, replicas.max(2));
+    let coordinator =
+        Coordinator::connect(&topology(&nodes), ClusterConfig::default()).expect("connect");
+    for terms in queries.iter().take(8) {
+        coordinator.query(terms, 0.0, DEADLINE).expect("warm query");
+    }
+
+    // Phase 2: kill one replica of shard 0 mid-load; zero queries may fail.
+    nodes[0][0].kill();
+    let killed_at = Instant::now();
+    let mut failed = 0u64;
+    let mut demoted_ms = f64::NAN;
+    for terms in &queries {
+        match coordinator.query(terms, 0.0, DEADLINE) {
+            Ok(reply) => {
+                let mono = plan.monolith.query_terms_u64(terms, QueryMode::Full);
+                if reply.docs != mono || !reply.degraded.is_empty() {
+                    failed += 1;
+                }
+            }
+            Err(_) => failed += 1,
+        }
+        if demoted_ms.is_nan() {
+            let stats = coordinator.stats();
+            if !stats.shards[0].replicas[0].up {
+                demoted_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+    }
+    let failovers = coordinator.stats().shards[0].failovers;
+    eprintln!(
+        "failover: killed 1 replica, {failed} of {} queries failed, \
+         demoted after {demoted_ms:.1} ms ({failovers} failovers)",
+        queries.len()
+    );
+    report
+        .int("replica_kill_failed_queries", failed)
+        .num("replica_kill_success", if failed == 0 { 1.0 } else { 0.0 })
+        .num(
+            "failover_demotion_ms",
+            if demoted_ms.is_nan() {
+                -1.0
+            } else {
+                demoted_ms
+            },
+        );
+    assert_eq!(failed, 0, "replica failover lost queries");
+
+    // Phase 3: kill the rest of shard 0's replica set; availability must
+    // hold at 1.0 via degraded answers.
+    for node in &mut nodes[0] {
+        node.kill();
+    }
+    let (lo, hi) = plan.ranges[0];
+    let mut ok = 0u64;
+    let mut degraded = 0u64;
+    for terms in &queries {
+        match coordinator.query(terms, 0.0, DEADLINE) {
+            Ok(reply) => {
+                ok += 1;
+                if !reply.degraded.is_empty() {
+                    degraded += 1;
+                    assert_eq!(reply.degraded, vec![0], "wrong shard reported down");
+                    let expect: Vec<u32> = plan
+                        .monolith
+                        .query_terms_u64(terms, QueryMode::Full)
+                        .into_iter()
+                        .filter(|&d| d < lo || d >= hi)
+                        .collect();
+                    assert_eq!(reply.docs, expect, "degraded answer diverged");
+                }
+            }
+            Err(e) => eprintln!("DEGRADED-MODE FAILURE: {e}"),
+        }
+    }
+    let availability = ok as f64 / queries.len() as f64;
+    eprintln!(
+        "degraded: killed full replica set, availability {availability:.3} \
+         ({degraded} of {} replies marked degraded)",
+        queries.len()
+    );
+    report
+        .num("degraded_availability", availability)
+        .int("degraded_replies", degraded);
+    assert!(
+        (availability - 1.0).abs() < f64::EPSILON,
+        "degraded mode dropped queries"
+    );
+
+    report.finish("BENCH_cluster.json");
+}

@@ -1,0 +1,102 @@
+//! Cluster-aware client: a [`TcpClient`] that also understands degraded
+//! replies.
+//!
+//! A plain [`TcpClient`] works against the coordinator for healthy
+//! answers (the front speaks the standard protocol) but reports status 4
+//! as an unknown status; this wrapper surfaces the partial answer and the
+//! missing shard list instead.
+
+use crate::coordinator::ClusterReply;
+use crate::wire;
+use rambo_server::{ServerError, TcpClient, TcpClientError};
+use std::io;
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+/// Blocking client for a [`crate::Coordinator`] front.
+#[derive(Debug)]
+pub struct ClusterClient {
+    inner: TcpClient,
+}
+
+impl ClusterClient {
+    /// Connect to a coordinator front.
+    ///
+    /// # Errors
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self {
+            inner: TcpClient::connect(addr)?,
+        })
+    }
+
+    /// Connect with a bound on connection establishment.
+    ///
+    /// # Errors
+    /// See [`TcpClient::connect_with_timeout`].
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        Ok(Self {
+            inner: TcpClient::connect_with_timeout(addr, timeout)?,
+        })
+    }
+
+    /// Bound every read and write on the connection.
+    ///
+    /// # Errors
+    /// See [`TcpClient::set_io_timeout`].
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_io_timeout(timeout)
+    }
+
+    /// Query the cluster. A degraded answer (some shards unreachable) is a
+    /// *successful* call with [`ClusterReply::degraded`] non-empty — the
+    /// caller decides whether a partial answer is acceptable.
+    ///
+    /// # Errors
+    /// [`TcpClientError::Server`] for overload/deadline rejections,
+    /// [`TcpClientError::Io`]/[`TcpClientError::Protocol`] on transport or
+    /// framing failures.
+    pub fn query(
+        &mut self,
+        terms: &[u64],
+        fpr_budget: f64,
+        deadline: Duration,
+    ) -> Result<ClusterReply, TcpClientError> {
+        let frame = wire::encode_query_request(&wire::QueryRequest {
+            terms: terms.to_vec(),
+            fpr_budget,
+            deadline,
+            mode: None,
+        });
+        let payload = self.inner.exchange(&frame)?;
+        let parsed = wire::parse_response(&payload).map_err(TcpClientError::Protocol)?;
+        let tier = parsed.tier as usize;
+        match parsed.status {
+            wire::STATUS_OK | wire::STATUS_DEGRADED => Ok(ClusterReply {
+                docs: parsed.docs,
+                tier,
+                degraded: parsed.down_shards,
+            }),
+            wire::STATUS_OVERLOADED => {
+                Err(TcpClientError::Server(ServerError::Overloaded { tier }))
+            }
+            wire::STATUS_DEADLINE => Err(TcpClientError::Server(ServerError::DeadlineExceeded {
+                tier,
+            })),
+            wire::STATUS_BAD_REQUEST => Err(TcpClientError::Protocol(
+                "coordinator reported a bad request".into(),
+            )),
+            other => Err(TcpClientError::Protocol(format!(
+                "unknown response status {other}"
+            ))),
+        }
+    }
+
+    /// Fetch the coordinator's plain-text [`crate::ClusterStats`] dump.
+    ///
+    /// # Errors
+    /// See [`TcpClient::stats`].
+    pub fn stats(&mut self) -> Result<String, TcpClientError> {
+        self.inner.stats()
+    }
+}

@@ -1,0 +1,120 @@
+//! The coordinator's client-facing TCP front.
+//!
+//! Speaks the same length-prefixed protocol as a single `rambo-server`
+//! node, so existing clients point at the coordinator unchanged; the one
+//! extension is the degraded status (see [`crate::wire`]). Unlike the
+//! shard nodes' readiness reactor, the front is a plain thread-per-
+//! connection loop inside a [`std::thread::scope`] — a coordinator query
+//! blocks its connection thread on the scatter anyway, and the scoped
+//! spawn keeps shutdown structural: `serve_cluster` returns only after
+//! every connection thread has observed `stop` and exited.
+
+use crate::coordinator::{ClusterError, Coordinator};
+use crate::wire;
+use rambo_server::ServerError;
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How often an idle connection (or the accept loop) re-checks `stop`.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Serve the coordinator over TCP until `stop` is set. One thread per
+/// connection; socket reads are bounded by `POLL_INTERVAL` so every
+/// thread notices `stop` promptly, and the scoped spawn joins them all
+/// before returning.
+///
+/// # Errors
+/// Listener configuration errors and fatal accept failures.
+pub fn serve_cluster(
+    coordinator: &Coordinator,
+    listener: TcpListener,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || serve_connection(coordinator, stream, stop));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Drive one connection until EOF, a protocol error, or `stop`.
+fn serve_connection(coordinator: &Coordinator, mut stream: TcpStream, stop: &AtomicBool) {
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::Relaxed) {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF between frames
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle poll tick: re-check stop
+            }
+            Err(_) => return,
+        };
+        let frame = answer(coordinator, &payload);
+        let close_after = frame.is_none();
+        let frame =
+            frame.unwrap_or_else(|| wire::encode_response(wire::STATUS_BAD_REQUEST, 0, &[]));
+        if stream.write_all(&frame).is_err() {
+            return;
+        }
+        if close_after {
+            return; // a malformed frame may have desynchronized the stream
+        }
+    }
+}
+
+/// Answer one request frame; `None` means "bad request, then hang up".
+fn answer(coordinator: &Coordinator, payload: &[u8]) -> Option<Vec<u8>> {
+    if payload.len() == 1 && payload[0] == wire::OPCODE_STATS {
+        let text = coordinator.stats().to_string();
+        let mut frame = Vec::with_capacity(4 + 1 + text.len());
+        frame.extend_from_slice(&(1 + text.len() as u32).to_le_bytes());
+        frame.push(wire::STATUS_OK);
+        frame.extend_from_slice(text.as_bytes());
+        return Some(frame);
+    }
+    if payload.len() == 1 && payload[0] == wire::OPCODE_HELLO {
+        // The coordinator is not a shard; like a manifest-less server it
+        // answers HELLO with bad-request but keeps the connection open.
+        let mut frame = Vec::with_capacity(5);
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.push(wire::STATUS_BAD_REQUEST);
+        return Some(frame);
+    }
+    let req = wire::parse_query_request(payload)?;
+    let reply = coordinator.query_mode(&req.terms, req.fpr_budget, req.deadline, req.mode);
+    Some(match reply {
+        Ok(r) if r.degraded.is_empty() => {
+            wire::encode_response(wire::STATUS_OK, r.tier as u32, &r.docs)
+        }
+        Ok(r) => wire::encode_degraded_response(r.tier as u32, &r.docs, &r.degraded),
+        Err(ClusterError::Shard {
+            error: ServerError::Overloaded { tier },
+            ..
+        }) => wire::encode_response(wire::STATUS_OVERLOADED, tier as u32, &[]),
+        Err(ClusterError::Shard {
+            error: ServerError::DeadlineExceeded { tier },
+            ..
+        }) => wire::encode_response(wire::STATUS_DEADLINE, tier as u32, &[]),
+        Err(_) => wire::encode_response(wire::STATUS_BAD_REQUEST, 0, &[]),
+    })
+}

@@ -1,0 +1,177 @@
+//! Node identity announcement: what a shard server tells the coordinator.
+//!
+//! Every shard replica registers an encoded [`NodeManifest`] with its TCP
+//! front ([`rambo_server::ServeOptions`]); the coordinator fetches it via
+//! the `HELLO` opcode at connect time and uses it to (a) map node-local
+//! document ids back to the stacked index's node-major global ids
+//! (`doc_lo`), (b) verify that the replicas of one shard really serve the
+//! same catalog (`fingerprint`), and (c) verify that the shard list it was
+//! configured with matches what the nodes themselves believe (`shard`).
+
+use rambo_server::Catalog;
+
+/// Magic + version prefix of an encoded manifest (`"RCM1"`).
+const MANIFEST_MAGIC: [u8; 4] = *b"RCM1";
+/// Encoded size: magic + 5×u32 + 2×u64.
+const MANIFEST_LEN: usize = 4 + 5 * 4 + 2 * 8;
+
+/// A shard replica's identity, exchanged via the `HELLO` opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeManifest {
+    /// Which document partition this node serves (coordinator shard index).
+    pub shard: u32,
+    /// Which replica of that shard this node is (informational).
+    pub replica: u32,
+    /// First global (node-major) document id this shard serves.
+    pub doc_lo: u32,
+    /// One past the last global document id this shard serves.
+    pub doc_hi: u32,
+    /// Number of catalog tiers the node serves.
+    pub tiers: u32,
+    /// Bucket count of the node's tier-0 index (sanity, not identity).
+    pub buckets: u64,
+    /// FNV-1a hash of the serialized catalog: replicas of one shard must
+    /// agree byte-for-byte, or scatter-gather answers would depend on which
+    /// replica won the hedge race.
+    pub fingerprint: u64,
+}
+
+impl NodeManifest {
+    /// Build a manifest for a shard serving `catalog` as replica
+    /// `replica` of shard `shard`, covering global doc ids `[doc_lo,
+    /// doc_hi)`.
+    #[must_use]
+    pub fn for_catalog(
+        shard: u32,
+        replica: u32,
+        doc_lo: u32,
+        doc_hi: u32,
+        catalog: &Catalog,
+    ) -> Self {
+        Self {
+            shard,
+            replica,
+            doc_lo,
+            doc_hi,
+            tiers: catalog.len() as u32,
+            buckets: catalog.tier(0).buckets(),
+            fingerprint: fingerprint_bytes(catalog.buffer()),
+        }
+    }
+
+    /// Serialize to the fixed little-endian wire form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MANIFEST_LEN);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.replica.to_le_bytes());
+        out.extend_from_slice(&self.doc_lo.to_le_bytes());
+        out.extend_from_slice(&self.doc_hi.to_le_bytes());
+        out.extend_from_slice(&self.tiers.to_le_bytes());
+        out.extend_from_slice(&self.buckets.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out
+    }
+
+    /// Decode the wire form; rejects wrong magic, truncation and trailing
+    /// garbage (a manifest is a fixed-size record, not a stream).
+    ///
+    /// # Errors
+    /// A human-readable description of what was malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != MANIFEST_LEN {
+            return Err(format!(
+                "manifest must be {MANIFEST_LEN} bytes, got {}",
+                bytes.len()
+            ));
+        }
+        if bytes[..4] != MANIFEST_MAGIC {
+            return Err("manifest magic mismatch (not a RAMBO cluster node?)".into());
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let m = Self {
+            shard: u32_at(4),
+            replica: u32_at(8),
+            doc_lo: u32_at(12),
+            doc_hi: u32_at(16),
+            tiers: u32_at(20),
+            buckets: u64_at(24),
+            fingerprint: u64_at(32),
+        };
+        if m.doc_lo > m.doc_hi {
+            return Err(format!(
+                "manifest doc range is inverted: [{}, {})",
+                m.doc_lo, m.doc_hi
+            ));
+        }
+        Ok(m)
+    }
+}
+
+/// FNV-1a over a byte slice — the catalog fingerprint. Not cryptographic;
+/// it detects configuration mistakes (replicas built from different
+/// corpora), not adversaries.
+#[must_use]
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeManifest {
+        NodeManifest {
+            shard: 3,
+            replica: 1,
+            doc_lo: 120,
+            doc_hi: 180,
+            tiers: 2,
+            buckets: 64,
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(NodeManifest::decode(&m.encode()), Ok(m));
+    }
+
+    #[test]
+    fn rejects_truncation_and_garbage() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(NodeManifest::decode(&bytes[..cut]).is_err());
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(NodeManifest::decode(&longer).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(NodeManifest::decode(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_range() {
+        let mut m = sample();
+        m.doc_lo = 200;
+        m.doc_hi = 100;
+        assert!(NodeManifest::decode(&m.encode()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_differs_on_any_byte() {
+        let a = fingerprint_bytes(b"catalog-one");
+        let b = fingerprint_bytes(b"catalog-two");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint_bytes(b"catalog-one"));
+    }
+}

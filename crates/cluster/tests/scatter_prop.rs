@@ -1,0 +1,101 @@
+//! Property tests for the scatter-gather identity: over fuzzed cluster
+//! geometries and corpora, the union of node-local shard answers (offset
+//! into global node-major ids) must be **bit-identical** to the stacked
+//! monolith's answer — false positives included. This is the invariant
+//! the whole coordinator design rests on; it holds because the two-level
+//! hash gives every node a disjoint slice of the global bucket space.
+
+use proptest::prelude::*;
+use rambo_cluster::plan_cluster;
+use rambo_core::{DocId, QueryContext, QueryMode, RamboParams};
+
+/// Deterministic corpus: `docs` documents of `terms_per_doc` terms each,
+/// with a `shared` prefix of terms common to every document (so
+/// multi-term queries hit several docs and false positives get a chance).
+fn corpus(docs: u64, terms_per_doc: u64, shared: u64, salt: u64) -> Vec<(String, Vec<u64>)> {
+    (0..docs)
+        .map(|d| {
+            let name = format!("doc-{salt}-{d}");
+            let terms = (0..shared)
+                .map(|t| salt << 32 | t)
+                .chain((shared..terms_per_doc).map(|t| salt << 32 | d << 16 | t))
+                .collect();
+            (name, terms)
+        })
+        .collect()
+}
+
+/// Union of per-shard answers in shard order, offset to global ids.
+fn scatter_union(
+    plan: &rambo_cluster::ClusterPlan,
+    query: impl Fn(&rambo_core::Rambo) -> Vec<DocId>,
+) -> Vec<DocId> {
+    let mut union = Vec::new();
+    for (shard, &(lo, _)) in plan.shards.iter().zip(&plan.ranges) {
+        union.extend(query(shard).into_iter().map(|local| lo + local));
+    }
+    union
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact-intersection queries: scatter union ≡ monolith, for planted
+    /// and absent term sets, across fuzzed node counts and geometries.
+    #[test]
+    fn scatter_union_is_bit_identical_for_intersections(
+        nodes in 1u64..6,
+        local_b_log in 2u32..5,
+        reps in 2usize..4,
+        docs in 1u64..40,
+        seed in 0u64..1000,
+        probe in 0u64..40,
+        n_terms in 1usize..5,
+    ) {
+        let params = RamboParams::two_level(nodes, 1 << local_b_log, reps, 1 << 10, 2, seed);
+        let corpus = corpus(docs, 12, 3, seed);
+        let plan = plan_cluster(params, &corpus).unwrap();
+
+        // A planted per-doc term set, a shared term set, and an absent one.
+        let d = probe % docs;
+        let planted: Vec<u64> = (3..3 + n_terms as u64).map(|t| seed << 32 | d << 16 | t).collect();
+        let shared: Vec<u64> = (0..n_terms as u64).map(|t| seed << 32 | t).collect();
+        let absent: Vec<u64> = (0..n_terms as u64).map(|t| 0xDEAD_0000 | t).collect();
+        for terms in [&planted, &shared, &absent] {
+            for mode in [QueryMode::Full, QueryMode::Sparse] {
+                let union = scatter_union(&plan, |s| s.query_terms_u64(terms, mode));
+                let mono = plan.monolith.query_terms_u64(terms, mode);
+                prop_assert_eq!(union, mono);
+            }
+        }
+    }
+
+    /// θ-threshold sequence queries (§3.3.1): per-document term-hit counts
+    /// restrict per shard exactly, so the θ-set union is also identical.
+    #[test]
+    fn scatter_union_is_bit_identical_for_theta_sequences(
+        nodes in 1u64..5,
+        docs in 1u64..30,
+        seed in 0u64..1000,
+        probe in 0u64..30,
+        theta_pct in 3u32..10,
+    ) {
+        let params = RamboParams::two_level(nodes, 8, 3, 1 << 10, 2, seed);
+        let corpus = corpus(docs, 12, 2, seed);
+        let plan = plan_cluster(params, &corpus).unwrap();
+
+        // A sequence where some terms were never indexed, so θ < 1 matters.
+        let d = probe % docs;
+        let seq: Vec<u64> = (2..8u64)
+            .map(|t| seed << 32 | d << 16 | t)
+            .chain([0xBAD_0001, 0xBAD_0002])
+            .collect();
+        let theta = f64::from(theta_pct) / 10.0;
+        let mut ctx = QueryContext::new();
+        let union = scatter_union(&plan, |s| {
+            s.query_sequence_theta(&seq, theta, QueryMode::Full, &mut QueryContext::new())
+        });
+        let mono = plan.monolith.query_sequence_theta(&seq, theta, QueryMode::Full, &mut ctx);
+        prop_assert_eq!(union, mono);
+    }
+}

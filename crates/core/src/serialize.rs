@@ -7,6 +7,9 @@
 //! ```text
 //! magic "RMB1" | version u16 (= 2)
 //! partition tag u8 (+ fields) | repetitions u32 | bfu_bits u64 | eta u32 | seed u64
+//!   tag 0 Flat:      buckets u64 | 0 u64
+//!   tag 1 TwoLevel:  nodes u64 | local_buckets u64
+//!   tag 2 NodeLocal: local_buckets u64 | nodes u64 | node u64
 //! fold_factor u32 | inserts u64 | K u32
 //! K × (name_len u32, utf8 bytes)
 //! R × ( K × assign u32, BFU matrix [8-byte-aligned word payload] )
@@ -51,6 +54,9 @@ struct Prelude {
     inserts: u64,
     current_buckets: u64,
     doc_names: Vec<String>,
+    /// `(nodes, node)` for a node-local shard of a sharded build (partition
+    /// tag 2); `None` for standalone indexes.
+    node_ctx: Option<(u64, u64)>,
 }
 
 /// Decode the header, geometry and document names, advancing `buf`.
@@ -65,6 +71,7 @@ fn decode_prelude(buf: &mut &[u8]) -> Result<Prelude, RamboError> {
         return Err(DecodeError::new("unsupported RAMBO version").into());
     }
     short(buf, 1 + 8 + 8 + 4 + 8 + 4 + 4 + 8 + 4, "geometry")?;
+    let mut node_ctx = None;
     let partition = match buf.get_u8() {
         0 => {
             let buckets = buf.get_u64_le();
@@ -75,6 +82,25 @@ fn decode_prelude(buf: &mut &[u8]) -> Result<Prelude, RamboError> {
             nodes: buf.get_u64_le(),
             local_buckets: buf.get_u64_le(),
         },
+        2 => {
+            // A node-local shard: flat over its local buckets, but routed
+            // through the shared two-level hash of its parent build.
+            let local_buckets = buf.get_u64_le();
+            let nodes = buf.get_u64_le();
+            // The extra node-id word shifts the rest of the geometry block
+            // past the upfront bound; re-check before reading on.
+            short(buf, 8 + 4 + 8 + 4 + 8 + 4 + 8 + 4, "node-local geometry")?;
+            let node = buf.get_u64_le();
+            if node >= nodes {
+                return Err(
+                    DecodeError::new(format!("node id {node} out of range {nodes}")).into(),
+                );
+            }
+            node_ctx = Some((nodes, node));
+            PartitionScheme::Flat {
+                buckets: local_buckets,
+            }
+        }
         t => return Err(DecodeError::new(format!("unknown partition tag {t}")).into()),
     };
     let repetitions = buf.get_u32_le() as usize;
@@ -118,6 +144,7 @@ fn decode_prelude(buf: &mut &[u8]) -> Result<Prelude, RamboError> {
         inserts,
         current_buckets,
         doc_names,
+        node_ctx,
     })
 }
 
@@ -126,11 +153,24 @@ fn decode_prelude(buf: &mut &[u8]) -> Result<Prelude, RamboError> {
 /// parse, mirroring the original decode order.
 fn skeleton(p: &Prelude) -> Rambo {
     let seeds = derive_seeds(p.params.seed);
-    let mut index = Rambo::from_parts(
-        p.params,
-        Resolver::new(p.params.partition, p.params.repetitions, seeds.partition),
-        seeds.bloom,
-    );
+    let resolver = match p.node_ctx {
+        Some((nodes, node)) => {
+            let PartitionScheme::Flat { buckets } = p.params.partition else {
+                unreachable!("tag-2 preludes always carry flat local params")
+            };
+            Resolver::NodeLocal {
+                router: Resolver::shared_router(
+                    nodes,
+                    buckets,
+                    p.params.repetitions,
+                    seeds.partition,
+                ),
+                node,
+            }
+        }
+        None => Resolver::new(p.params.partition, p.params.repetitions, seeds.partition),
+    };
+    let mut index = Rambo::from_parts(p.params, resolver, seeds.bloom);
     index.current_buckets = p.current_buckets;
     index.fold_factor = p.fold_factor;
     index.inserts = p.inserts;
@@ -183,33 +223,46 @@ fn install_names(index: &mut Rambo, doc_names: Vec<String>) -> Result<(), RamboE
 }
 
 impl Rambo {
-    /// Serialize the full index.
+    /// Serialize the full index. Node-local shards of a sharded build
+    /// serialize with their node identity (partition tag 2), so a serving
+    /// cluster can ship each node its slice; deserializing re-derives the
+    /// shared two-level router from the seed.
     ///
     /// # Errors
-    /// [`RamboError::InvalidParams`] for node-local shards of a sharded
-    /// build (stack them first — a shard alone has no global identity).
+    /// [`RamboError::InvalidParams`] for internally inconsistent resolver
+    /// state (a node-local resolver over non-flat parameters).
     pub fn to_bytes(&self) -> Result<Vec<u8>, RamboError> {
-        if matches!(self.resolver, Resolver::NodeLocal { .. }) {
-            return Err(RamboError::InvalidParams(
-                "node-local shards cannot be serialized; stack the sharded build first".into(),
-            ));
-        }
         let mut out = Vec::with_capacity(64 + self.size_bytes());
         out.put_slice(MAGIC);
         out.put_u16_le(VERSION);
-        match self.params().partition {
-            PartitionScheme::Flat { buckets } => {
-                out.put_u8(0);
-                out.put_u64_le(buckets);
-                out.put_u64_le(0);
-            }
-            PartitionScheme::TwoLevel {
-                nodes,
-                local_buckets,
-            } => {
-                out.put_u8(1);
-                out.put_u64_le(nodes);
-                out.put_u64_le(local_buckets);
+        if let Resolver::NodeLocal { router, node } = &self.resolver {
+            let PartitionScheme::Flat {
+                buckets: local_buckets,
+            } = self.params().partition
+            else {
+                return Err(RamboError::InvalidParams(
+                    "node-local shard carries non-flat parameters".into(),
+                ));
+            };
+            out.put_u8(2);
+            out.put_u64_le(local_buckets);
+            out.put_u64_le(router.nodes());
+            out.put_u64_le(*node);
+        } else {
+            match self.params().partition {
+                PartitionScheme::Flat { buckets } => {
+                    out.put_u8(0);
+                    out.put_u64_le(buckets);
+                    out.put_u64_le(0);
+                }
+                PartitionScheme::TwoLevel {
+                    nodes,
+                    local_buckets,
+                } => {
+                    out.put_u8(1);
+                    out.put_u64_le(nodes);
+                    out.put_u64_le(local_buckets);
+                }
             }
         }
         out.put_u32_le(self.params().repetitions as u32);
@@ -517,6 +570,39 @@ mod tests {
         r.insert_document("b", [3u64]).unwrap();
         let back = Rambo::from_bytes(&r.to_bytes().unwrap()).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn node_local_shard_roundtrip() {
+        // Serving clusters ship each node its shard; the shard must
+        // roundtrip with its node identity (tag 2) so the re-derived
+        // resolver keeps inserting through the shared router.
+        let mut sharded =
+            crate::ShardedRambo::new(RamboParams::two_level(3, 8, 2, 1 << 10, 2, 5)).unwrap();
+        for d in 0..12u64 {
+            sharded
+                .ingest_document(&format!("doc{d}"), (0..10).map(|t| d << 16 | t))
+                .unwrap();
+        }
+        for shard in sharded.into_shards() {
+            let back = Rambo::from_bytes(&shard.to_bytes().unwrap()).unwrap();
+            assert_eq!(shard, back);
+            for t in [0u64, 3 << 16 | 1, 0xBEEF] {
+                assert_eq!(shard.query_u64(t), back.query_u64(t));
+            }
+        }
+    }
+
+    #[test]
+    fn node_local_tag_rejects_out_of_range_node() {
+        let mut sharded =
+            crate::ShardedRambo::new(RamboParams::two_level(2, 8, 2, 1 << 10, 2, 5)).unwrap();
+        sharded.ingest_document("a", [1u64]).unwrap();
+        let shard = sharded.into_shards().remove(0);
+        let mut bytes = shard.to_bytes().unwrap();
+        // partition block: tag at offset 6, local_buckets, nodes, then node.
+        bytes[7 + 16..7 + 24].copy_from_slice(&9u64.to_le_bytes());
+        assert!(Rambo::from_bytes(&bytes).is_err(), "node 9 of 2 must fail");
     }
 
     #[test]

@@ -100,6 +100,21 @@ impl ShardedRambo {
         &self.shards[node]
     }
 
+    /// Consume the builder and hand out the node-local shards — the piece a
+    /// *serving* cluster deploys. Each shard is a standalone [`Rambo`] over
+    /// `local_buckets` buckets holding exactly the documents `τ` routed to
+    /// that node, hashing with the shared router, so its answers are the
+    /// monolithic index's answers restricted to its own documents: the
+    /// two-level map gives every node a disjoint slice of the global bucket
+    /// space, and [`ShardedRambo::stack`] copies those slices verbatim.
+    /// Document ids are node-local (0.. per shard, in ingestion order);
+    /// a coordinator recovers the stacked index's node-major global ids by
+    /// offsetting with the cumulative document counts of earlier shards.
+    #[must_use]
+    pub fn into_shards(self) -> Vec<Rambo> {
+        self.shards
+    }
+
     /// Sequentially ingest one document on its owning node. Returns the node
     /// and the node-local document id.
     ///
@@ -392,10 +407,18 @@ mod tests {
     }
 
     #[test]
-    fn node_local_shard_refuses_serialization() {
+    fn node_local_shards_serialize_with_their_routing_context() {
+        // Partition tag 2 (serialize.rs) carries the node-local routing
+        // context, so each shard round-trips independently — the basis for
+        // shipping a shard to its serving node (rambo-cluster).
         let mut s = ShardedRambo::new(params(2, 8, 9)).unwrap();
-        s.ingest_document("d", [1u64]).unwrap();
-        assert!(s.shard(0).to_bytes().is_err() || s.shard(1).to_bytes().is_err());
+        for (name, terms) in make_docs(10) {
+            s.ingest_document(&name, terms).unwrap();
+        }
+        for shard in &s.shards {
+            let back = Rambo::from_bytes(&shard.to_bytes().unwrap()).unwrap();
+            assert_eq!(*shard, back);
+        }
     }
 
     #[test]

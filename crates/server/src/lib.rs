@@ -43,7 +43,12 @@
 //!   `std::net`, with [`TcpClient`] as the matching blocking client. The
 //!   listener is a single **non-blocking poll loop**: a stalled client is
 //!   timed out and aborted mid-frame instead of parking a server thread,
-//!   and a plain-text `STATS` frame exposes live counters.
+//!   and a plain-text `STATS` frame exposes live counters. A cluster shard
+//!   node registers its identity via [`ServeOptions::manifest`], served to
+//!   `HELLO` requests; [`TcpClient`] carries connect/read/write timeouts
+//!   and a [`TcpClient::reconnect`] path so a dead peer can never block a
+//!   caller indefinitely — the building blocks of the `rambo-cluster`
+//!   coordinator's connection pools.
 //!
 //! Every tier evaluator probes through the runtime-dispatched SIMD kernels
 //! of [`rambo_core::kernel`] (re-exported here as [`KernelBackend`] /
@@ -93,4 +98,4 @@ pub use server::{
     ServerHandle,
 };
 pub use stats::{ServerStats, SlowQuery, TierStats};
-pub use tcp::{serve_tcp, TcpClient, TcpClientError};
+pub use tcp::{serve_tcp, serve_tcp_with, ServeOptions, TcpClient, TcpClientError};

@@ -12,13 +12,20 @@
 //!
 //! stats-request  := u32 len(=1) | u8 opcode(=2)
 //! stats-response := u32 len | u8 status(=0) | utf8 text
+//!
+//! hello-request  := u32 len(=1) | u8 opcode(=3)
+//! hello-response := u32 len | u8 status(=0) | manifest bytes
 //! ```
 //!
 //! `len` counts the bytes after the length field. One connection carries any
 //! number of request/response pairs in order; closing the write side (or the
 //! whole socket) ends the session. The `STATS` opcode dumps the live
 //! [`crate::ServerStats`] (tier counters, result-cache counters, slow-query
-//! log) as plain text — `printf`-debuggable with `nc`.
+//! log) as plain text — `printf`-debuggable with `nc`. The `HELLO` opcode
+//! returns the opaque node manifest registered via [`ServeOptions`] (a
+//! cluster shard announces its shard id, replica id, doc-id range and
+//! catalog fingerprint this way); a server with no manifest answers `HELLO`
+//! with the bad-request status but keeps the connection open.
 //!
 //! [`serve_tcp`] is a single-threaded **readiness reactor**, not a
 //! thread-per-connection accept loop: every socket is non-blocking, and one
@@ -36,7 +43,7 @@ use crate::server::{PendingReply, QueryOptions, QueryReply, ServerError, ServerH
 use rambo_core::QueryMode;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -46,6 +53,7 @@ const MAX_FRAME_BYTES: usize = 16 << 20;
 
 const OPCODE_QUERY: u8 = 1;
 const OPCODE_STATS: u8 = 2;
+const OPCODE_HELLO: u8 = 3;
 
 const STATUS_OK: u8 = 0;
 const STATUS_OVERLOADED: u8 = 1;
@@ -108,6 +116,17 @@ impl Conn {
     }
 }
 
+/// Optional behaviors of the TCP front ([`serve_tcp_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Opaque manifest bytes returned to `HELLO` requests. A cluster shard
+    /// node announces its identity (shard id, replica id, doc-id range,
+    /// catalog fingerprint — see the `rambo-cluster` crate's
+    /// `NodeManifest`) this way; `None` answers `HELLO` with the
+    /// bad-request status.
+    pub manifest: Option<Vec<u8>>,
+}
+
 /// Serve the handle over TCP until `stop` is set, multiplexing every
 /// connection on the calling thread (see the module docs for the reactor
 /// design). Returns after the stop flag is observed; all connections —
@@ -123,6 +142,20 @@ pub fn serve_tcp(
     handle: &ServerHandle<'_>,
     listener: TcpListener,
     stop: &AtomicBool,
+) -> io::Result<()> {
+    serve_tcp_with(handle, listener, stop, &ServeOptions::default())
+}
+
+/// [`serve_tcp`] with front options — currently the `HELLO` manifest a
+/// cluster shard node registers so a coordinator can discover its identity.
+///
+/// # Errors
+/// See [`serve_tcp`].
+pub fn serve_tcp_with(
+    handle: &ServerHandle<'_>,
+    listener: TcpListener,
+    stop: &AtomicBool,
+    options: &ServeOptions,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let mut conns: Vec<Conn> = Vec::new();
@@ -146,7 +179,7 @@ pub fn serve_tcp(
             }
         }
         for conn in &mut conns {
-            progress |= pump(conn, handle);
+            progress |= pump(conn, handle, options);
         }
         conns.retain(|c| !c.dead);
         if !progress {
@@ -164,7 +197,7 @@ pub fn serve_tcp(
 /// One reactor pass over a connection: read what is available, decode and
 /// dispatch complete frames, poll owed replies in order, write what is
 /// flushed. Returns true when any byte or frame moved.
-fn pump(conn: &mut Conn, handle: &ServerHandle<'_>) -> bool {
+fn pump(conn: &mut Conn, handle: &ServerHandle<'_>, options: &ServeOptions) -> bool {
     let mut progress = false;
 
     // Read until the socket runs dry — but stop decoding ahead of a client
@@ -222,7 +255,7 @@ fn pump(conn: &mut Conn, handle: &ServerHandle<'_>) -> bool {
         if avail.len() < 4 + len {
             break;
         }
-        dispatch(conn, handle, consumed + 4, len);
+        dispatch(conn, handle, options, consumed + 4, len);
         consumed += 4 + len;
         progress = true;
     }
@@ -290,7 +323,13 @@ fn pump(conn: &mut Conn, handle: &ServerHandle<'_>) -> bool {
 }
 
 /// Dispatch one complete frame (`len` bytes at `offset` in the inbuf).
-fn dispatch(conn: &mut Conn, handle: &ServerHandle<'_>, offset: usize, len: usize) {
+fn dispatch(
+    conn: &mut Conn,
+    handle: &ServerHandle<'_>,
+    options: &ServeOptions,
+    offset: usize,
+    len: usize,
+) {
     let payload = &conn.inbuf[offset..offset + len];
     if len == 1 && payload[0] == OPCODE_STATS {
         let text = handle.stats().to_string();
@@ -298,6 +337,28 @@ fn dispatch(conn: &mut Conn, handle: &ServerHandle<'_>, offset: usize, len: usiz
         frame.extend_from_slice(&(1 + text.len() as u32).to_le_bytes());
         frame.push(STATUS_OK);
         frame.extend_from_slice(text.as_bytes());
+        conn.pending.push_back(PendingFrame::Ready(frame));
+        return;
+    }
+    if len == 1 && payload[0] == OPCODE_HELLO {
+        // A well-formed HELLO on a manifest-less server is answered with
+        // the bad-request status but does NOT desynchronize the stream, so
+        // the connection stays open (unlike the parse-failure path below).
+        let frame = match &options.manifest {
+            Some(manifest) => {
+                let mut frame = Vec::with_capacity(4 + 1 + manifest.len());
+                frame.extend_from_slice(&(1 + manifest.len() as u32).to_le_bytes());
+                frame.push(STATUS_OK);
+                frame.extend_from_slice(manifest);
+                frame
+            }
+            None => {
+                let mut frame = Vec::with_capacity(5);
+                frame.extend_from_slice(&1u32.to_le_bytes());
+                frame.push(STATUS_BAD_REQUEST);
+                frame
+            }
+        };
         conn.pending.push_back(PendingFrame::Ready(frame));
         return;
     }
@@ -435,20 +496,132 @@ impl From<io::Error> for TcpClientError {
 
 /// Minimal blocking client for the wire protocol (one in-flight query per
 /// connection; open several clients for concurrency).
+///
+/// The client remembers its peer address and timeouts, so a dead peer can
+/// neither block a caller indefinitely (connect/read/write timeouts, see
+/// [`TcpClient::connect_with_timeout`] and [`TcpClient::set_io_timeout`])
+/// nor strand the client permanently ([`TcpClient::reconnect`] opens a
+/// fresh connection to the same peer with the same timeouts). This is what
+/// a cluster coordinator's per-shard connection pools are built from.
 #[derive(Debug)]
 pub struct TcpClient {
     stream: TcpStream,
+    /// Peer as resolved at connect time — the `reconnect` target.
+    peer: SocketAddr,
+    /// Connect timeout to reuse on `reconnect` (`None` = OS default).
+    connect_timeout: Option<Duration>,
+    /// Read+write timeout to reapply on `reconnect` (`None` = block).
+    io_timeout: Option<Duration>,
 }
 
 impl TcpClient {
-    /// Connect to a serving endpoint.
+    /// Connect to a serving endpoint with the OS default connect timeout
+    /// and blocking (unbounded) reads and writes.
     ///
     /// # Errors
     /// Propagates connection errors.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        let peer = stream.peer_addr()?;
+        Ok(Self {
+            stream,
+            peer,
+            connect_timeout: None,
+            io_timeout: None,
+        })
+    }
+
+    /// Connect with an upper bound on connection establishment (tried
+    /// against each resolved address in turn) — an unreachable or
+    /// black-holed peer fails within `timeout` per address instead of
+    /// hanging in the kernel's default SYN retry schedule.
+    ///
+    /// # Errors
+    /// Propagates resolution failures and the last address's connect error.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let peer = stream.peer_addr()?;
+                    return Ok(Self {
+                        stream,
+                        peer,
+                        connect_timeout: Some(timeout),
+                        io_timeout: None,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    /// Bound every read and write on the connection: a peer that accepts a
+    /// request but never answers (or stops draining its socket) turns into
+    /// a timed-out [`TcpClientError::Io`] instead of blocking the caller
+    /// forever. `None` restores unbounded blocking I/O. The setting is
+    /// remembered and reapplied across [`TcpClient::reconnect`].
+    ///
+    /// # Errors
+    /// Propagates the socket option errors (`Some(Duration::ZERO)` is
+    /// rejected by the standard library).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// The peer address this client connected (and reconnects) to.
+    #[must_use]
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Drop the current connection and open a fresh one to the same peer,
+    /// reusing the remembered connect and I/O timeouts. Any in-flight
+    /// request on the old connection is abandoned — after a timed-out
+    /// [`TcpClient::query`] the stream may hold a stale half-frame, so
+    /// reconnecting is the only way to make the client usable again.
+    ///
+    /// # Errors
+    /// Propagates connection errors; on error the client keeps the old
+    /// (dead) stream and may be retried.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = match self.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&self.peer, t)?,
+            None => TcpStream::connect(self.peer)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// Fetch the server's `HELLO` manifest (the opaque bytes registered via
+    /// [`ServeOptions::manifest`] — a cluster shard's identity announcement).
+    ///
+    /// # Errors
+    /// [`TcpClientError::Protocol`] when the server has no manifest,
+    /// [`TcpClientError::Io`] on transport failures.
+    pub fn hello(&mut self) -> Result<Vec<u8>, TcpClientError> {
+        let mut frame = Vec::with_capacity(5);
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.push(OPCODE_HELLO);
+        self.stream.write_all(&frame)?;
+        let payload = self.read_frame()?;
+        if payload.is_empty() || payload[0] != STATUS_OK {
+            return Err(TcpClientError::Protocol(
+                "server has no HELLO manifest".into(),
+            ));
+        }
+        Ok(payload[1..].to_vec())
     }
 
     /// Query with an FPR budget and a deadline.
@@ -537,6 +710,19 @@ impl TcpClient {
             .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
             .collect();
         Ok(QueryReply { docs, tier })
+    }
+
+    /// Send one raw, pre-framed request (length prefix included) and read
+    /// back one response frame's payload. This is the extension point for
+    /// protocol-extending wrappers — the cluster client uses it to speak
+    /// the degraded-response extension over a plain [`TcpClient`].
+    ///
+    /// # Errors
+    /// [`TcpClientError::Io`] on transport failures,
+    /// [`TcpClientError::Protocol`] on a malformed response length.
+    pub fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, TcpClientError> {
+        self.stream.write_all(frame)?;
+        self.read_frame()
     }
 
     /// Fetch the server's plain-text stats dump (the `STATS` opcode): tier

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench-regression gate: run the five benchmark binaries at their canonical
+# Bench-regression gate: run the benchmark binaries at their canonical
 # (default-flag) sizes and compare each BENCH_*.json headline metric against
 # the committed baselines in scripts/bench_baselines/. Fails (exit 1) when a
 # headline metric regresses by more than TOLERANCE_PCT.
@@ -56,19 +56,29 @@ BENCH_storage.json|hot_over_cold_query_speedup
 # criterion "RRR cold tier <= 0.6x the dense bits/doc" (deterministic —
 # same seed, same sizes); cold_query_headroom >= 1.0 holds a cold
 # (all-faulting) query under the 20ms serving ceiling on a 128MB catalog.
+#
+# Cluster floors are correctness/availability gates, not performance: the
+# scatter-gather union must be bit-identical to the monolith on every
+# query of the run, killing one replica must lose zero queries, and
+# killing a full replica set must keep availability at 1.0 via degraded
+# replies. These are 0-or-1 outcomes, so the tolerance never excuses a
+# failure.
 ABS_CHECKS="
 BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time|1.0
 BENCH_serve.json|batched_p99_speedup_vs_always_batch|1.0
 BENCH_serve.json|cache_hit_p50_speedup|5.0
 BENCH_storage.json|dense_over_rrr_bits_per_doc|1.667
 BENCH_storage.json|cold_query_headroom|1.0
+BENCH_cluster.json|scatter_parity_ok|1.0
+BENCH_cluster.json|replica_kill_success|1.0
+BENCH_cluster.json|degraded_availability|1.0
 "
 
 # Canonical runs: default flags except a fixed seed — these sizes are what
 # the committed baselines were recorded with. Keep flags here and baseline
 # regeneration (--update) in lockstep.
 run_benches() {
-    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold; do
+    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold cluster_serve; do
         echo "+ cargo run --release -p rambo-bench --bin $bin" >&2
         cargo run --release -p rambo-bench --bin "$bin" >/dev/null
     done
@@ -84,7 +94,7 @@ run_benches
 
 if [ "${1:-}" = "--update" ]; then
     mkdir -p "$BASELINE_DIR"
-    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json; do
+    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json BENCH_cluster.json; do
         cp "$f" "$BASELINE_DIR/$f"
         echo "blessed $BASELINE_DIR/$f"
     done
@@ -99,6 +109,7 @@ bin_of() {
         BENCH_probe.json) echo probe_kernel ;;
         BENCH_serve.json) echo serve_load ;;
         BENCH_storage.json) echo storage_cold ;;
+        BENCH_cluster.json) echo cluster_serve ;;
     esac
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Smoke-run the five throughput benchmark binaries with small, fast
+# Smoke-run the throughput benchmark binaries with small, fast
 # workloads. This script is the single source of truth for the smoke flags:
 # CI's test job runs it verbatim, and a local `scripts/bench_smoke.sh`
 # executes exactly what CI does.
@@ -34,6 +34,13 @@ run cargo run --release -p rambo-bench --bin probe_kernel -- \
 run cargo run --release -p rambo-bench --bin serve_load -- \
     --docs 120 --mean-terms 800 --queries 800 --window 32 \
     --loads 1,2,8 --tcp
+# cluster-smoke: plans a corpus into node-local shards, spawns replicated
+# shard servers plus a scatter-gather coordinator over loopback, asserts
+# every answer bit-identical to the stacked monolith, then kills one
+# replica (zero queries may fail) and a whole replica set (replies must
+# degrade, not error).
+run cargo run --release -p rambo-bench --bin cluster_serve -- \
+    --docs 24 --queries 80 --nodes 1,2 --replicas 2
 # storage-smoke: dense vs RRR tier sizes with result-parity asserts, then a
 # small on-disk catalog opened paged (cold) and re-queried hot through the
 # block cache, with paged-vs-buffered parity asserts throughout.

@@ -6,6 +6,7 @@
 pub use rambo_baselines as baselines;
 pub use rambo_bitvec as bitvec;
 pub use rambo_bloom as bloom;
+pub use rambo_cluster as cluster;
 pub use rambo_core as core;
 pub use rambo_hash as hash;
 pub use rambo_kmer as kmer;
