@@ -10,7 +10,7 @@
 //! after the query has long returned.
 
 use crate::health::ReplicaHealth;
-use crate::manifest::NodeManifest;
+use crate::manifest::{ManifestError, NodeManifest};
 use crate::pool::ClientPool;
 use rambo_core::QueryMode;
 use rambo_server::{QueryReply, ServerError, TcpClient, TcpClientError};
@@ -99,6 +99,13 @@ pub struct ClusterReply {
 pub enum ClusterError {
     /// Transport failure during topology discovery.
     Io(io::Error),
+    /// A node's `HELLO` answer was not a valid manifest.
+    Manifest {
+        /// Which node answered.
+        addr: String,
+        /// What was malformed.
+        error: ManifestError,
+    },
     /// The configured topology contradicts what the nodes announced.
     Config(String),
     /// A (reachable) shard rejected the query — overload or deadline; the
@@ -116,6 +123,9 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "cluster transport error: {e}"),
+            Self::Manifest { addr, error } => {
+                write!(f, "cluster topology error: {addr}: {error}")
+            }
             Self::Config(msg) => write!(f, "cluster topology error: {msg}"),
             Self::Shard { shard, error } => {
                 write!(f, "shard {shard} rejected the query: {error}")
@@ -128,6 +138,7 @@ impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
+            Self::Manifest { error, .. } => Some(error),
             Self::Config(_) => None,
             Self::Shard { error, .. } => Some(error),
         }
@@ -244,8 +255,11 @@ impl Coordinator {
             let mut first: Option<NodeManifest> = None;
             for &addr in addrs {
                 let (client, raw) = Self::dial_hello(addr, config.connect_timeout)?;
-                let manifest = NodeManifest::decode(&raw)
-                    .map_err(|e| ClusterError::Config(format!("{addr}: {e}")))?;
+                let manifest =
+                    NodeManifest::decode(&raw).map_err(|error| ClusterError::Manifest {
+                        addr: addr.to_string(),
+                        error,
+                    })?;
                 if manifest.shard as usize != s {
                     return Err(ClusterError::Config(format!(
                         "{addr} announces shard {} but is configured as shard {s}",
@@ -558,7 +572,7 @@ impl Coordinator {
                     replica.latency.record(t0.elapsed());
                     replica.health.record_success();
                 }
-                Err(TcpClientError::Server(_)) => {
+                Err(TcpClientError::Server(_) | TcpClientError::Rejected(_)) => {
                     // The node is alive and the stream stayed in sync;
                     // rejections are not transport failures.
                 }

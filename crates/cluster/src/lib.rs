@@ -99,7 +99,7 @@ pub use coordinator::{
 };
 pub use front::serve_cluster;
 pub use health::ReplicaHealth;
-pub use manifest::{fingerprint_bytes, NodeManifest};
+pub use manifest::{fingerprint_bytes, ManifestError, NodeManifest};
 pub use partition::{plan_cluster, ClusterPlan};
 pub use pool::ClientPool;
 pub use proxy::{Fault, FaultProxy};

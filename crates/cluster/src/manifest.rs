@@ -9,11 +9,46 @@
 //! configured with matches what the nodes themselves believe (`shard`).
 
 use rambo_server::Catalog;
+use std::fmt;
 
 /// Magic + version prefix of an encoded manifest (`"RCM1"`).
 const MANIFEST_MAGIC: [u8; 4] = *b"RCM1";
 /// Encoded size: magic + 5×u32 + 2×u64.
 const MANIFEST_LEN: usize = 4 + 5 * 4 + 2 * 8;
+
+/// Why a byte buffer is not a valid [`NodeManifest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManifestError {
+    /// Wrong byte count (a manifest is a fixed-size record, not a stream);
+    /// carries the length received.
+    Length(usize),
+    /// The `"RCM1"` magic prefix did not match — the peer is probably not
+    /// a RAMBO cluster node.
+    Magic,
+    /// `doc_lo > doc_hi`: the announced document range is inverted.
+    InvertedRange {
+        /// Announced first global document id.
+        lo: u32,
+        /// Announced one-past-last global document id.
+        hi: u32,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Length(got) => {
+                write!(f, "manifest must be {MANIFEST_LEN} bytes, got {got}")
+            }
+            Self::Magic => write!(f, "manifest magic mismatch (not a RAMBO cluster node?)"),
+            Self::InvertedRange { lo, hi } => {
+                write!(f, "manifest doc range is inverted: [{lo}, {hi})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
 
 /// A shard replica's identity, exchanged via the `HELLO` opcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,16 +113,13 @@ impl NodeManifest {
     /// garbage (a manifest is a fixed-size record, not a stream).
     ///
     /// # Errors
-    /// A human-readable description of what was malformed.
-    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+    /// A [`ManifestError`] naming what was malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ManifestError> {
         if bytes.len() != MANIFEST_LEN {
-            return Err(format!(
-                "manifest must be {MANIFEST_LEN} bytes, got {}",
-                bytes.len()
-            ));
+            return Err(ManifestError::Length(bytes.len()));
         }
         if bytes[..4] != MANIFEST_MAGIC {
-            return Err("manifest magic mismatch (not a RAMBO cluster node?)".into());
+            return Err(ManifestError::Magic);
         }
         let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
         let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
@@ -101,10 +133,10 @@ impl NodeManifest {
             fingerprint: u64_at(32),
         };
         if m.doc_lo > m.doc_hi {
-            return Err(format!(
-                "manifest doc range is inverted: [{}, {})",
-                m.doc_lo, m.doc_hi
-            ));
+            return Err(ManifestError::InvertedRange {
+                lo: m.doc_lo,
+                hi: m.doc_hi,
+            });
         }
         Ok(m)
     }
@@ -164,7 +196,26 @@ mod tests {
         let mut m = sample();
         m.doc_lo = 200;
         m.doc_hi = 100;
-        assert!(NodeManifest::decode(&m.encode()).is_err());
+        assert_eq!(
+            NodeManifest::decode(&m.encode()),
+            Err(ManifestError::InvertedRange { lo: 200, hi: 100 })
+        );
+    }
+
+    #[test]
+    fn error_variants_are_typed() {
+        let bytes = sample().encode();
+        assert_eq!(
+            NodeManifest::decode(&bytes[..7]),
+            Err(ManifestError::Length(7))
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(NodeManifest::decode(&bad_magic), Err(ManifestError::Magic));
+        // Display stays human-readable for coordinator Config messages.
+        assert!(ManifestError::Length(7).to_string().contains("7"));
+        let source: &dyn std::error::Error = &ManifestError::Magic;
+        assert!(source.source().is_none());
     }
 
     #[test]

@@ -86,6 +86,7 @@ mod batch;
 mod builder;
 mod error;
 mod fold;
+mod generations;
 mod index;
 mod matrix;
 mod params;
@@ -100,6 +101,9 @@ pub use batch::{default_threads, QueryBatch};
 pub use builder::RamboBuilder;
 pub use error::RamboError;
 pub use fold::TierCompression;
+pub use generations::{
+    GenerationConfig, GenerationInfo, GenerationalIndex, MergeJob, SealedGeneration,
+};
 pub use index::{DocId, Rambo};
 pub use params::RamboParams;
 pub use partition::PartitionScheme;

@@ -200,7 +200,7 @@ impl BfuMatrix {
 
     /// Read one bit, whatever the backend.
     #[inline]
-    fn bit(&self, p: usize, bucket: usize) -> bool {
+    pub(crate) fn bit(&self, p: usize, bucket: usize) -> bool {
         let (word, shift) = (bucket / 64, bucket % 64);
         match &self.store {
             MatrixStore::Dense(ws) => (ws.as_words()[p * self.row_words + word] >> shift) & 1 == 1,

@@ -44,19 +44,19 @@ pub enum QueryMode {
 #[derive(Debug)]
 pub struct QueryContext {
     /// Per-(repetition, term) hash pairs, repetition-major.
-    pairs: Vec<HashPair>,
+    pub(crate) pairs: Vec<HashPair>,
     /// Bucket mask for the per-table probe (`B` bits).
-    mask: BitVec,
+    pub(crate) mask: BitVec,
     /// Intersection accumulator across repetitions (`K` bits, Full mode).
-    acc: BitVec,
+    pub(crate) acc: BitVec,
     /// Per-repetition union bitmap (`K` bits, Full mode).
-    tbl: BitVec,
+    pub(crate) tbl: BitVec,
     /// Probe memo per bucket: 0 unknown, 1 true, 2 false (Sparse mode).
-    probes: Vec<u8>,
+    pub(crate) probes: Vec<u8>,
     /// Live candidates (Sparse mode).
-    candidates: Vec<DocId>,
+    pub(crate) candidates: Vec<DocId>,
     /// Per-document hit counts for θ-threshold sequence queries.
-    counts: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
 }
 
 impl Default for QueryContext {

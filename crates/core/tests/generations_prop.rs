@@ -1,0 +1,209 @@
+//! Property tests for the mutable generational index.
+//!
+//! The load-bearing claim of the LSM-style design is *bit-identity*: at
+//! every point of any insert / seal / merge interleaving, a
+//! [`GenerationalIndex`] answers every query exactly like a monolithic
+//! [`Rambo`] rebuilt from scratch over the same documents — sealing and
+//! merging are representation changes, never answer changes. These tests
+//! fuzz the interleaving (including degenerate generation configs that
+//! seal on every insert or merge everything into one tier) and compare
+//! against the from-scratch oracle after every operation.
+
+use proptest::prelude::*;
+use rambo_core::{
+    GenerationConfig, GenerationalIndex, QueryContext, QueryMode, Rambo, RamboParams,
+};
+
+/// A random archive: documents with disjoint private terms plus a shared
+/// pool so multiplicity V > 1 occurs.
+#[derive(Debug, Clone)]
+struct Archive {
+    docs: Vec<(String, Vec<u64>)>,
+}
+
+fn archive_strategy(max_docs: usize) -> impl Strategy<Value = Archive> {
+    (2..max_docs, 1usize..24, 0usize..8).prop_map(|(k, private, shared)| {
+        let docs = (0..k)
+            .map(|d| {
+                let base = (d as u64) << 32;
+                let mut terms: Vec<u64> = (0..private as u64).map(|t| base | t).collect();
+                terms.extend((0..shared as u64).map(|s| 0xABCD_0000 + (s % 5)));
+                terms.dedup();
+                (format!("doc-{d}"), terms)
+            })
+            .collect();
+        Archive { docs }
+    })
+}
+
+/// The oracle: a monolithic index built from scratch over a doc prefix.
+fn oracle(params: RamboParams, docs: &[(String, Vec<u64>)]) -> Rambo {
+    let mut r = Rambo::new(params).unwrap();
+    for (name, terms) in docs {
+        r.insert_document(name, terms.iter().copied()).unwrap();
+    }
+    r
+}
+
+/// Every probe term the archive mentions plus a few misses.
+fn probe_set(archive: &Archive) -> Vec<u64> {
+    let mut probes: Vec<u64> = archive
+        .docs
+        .iter()
+        .flat_map(|(_, terms)| terms.iter().copied())
+        .collect();
+    probes.extend([0u64, u64::MAX, 0xFEED_F00D]);
+    probes.sort_unstable();
+    probes.dedup();
+    probes
+}
+
+fn assert_parity(live: &GenerationalIndex, mono: &Rambo, probes: &[u64]) {
+    let mut ctx_live = QueryContext::new();
+    let mut ctx_mono = QueryContext::new();
+    for &t in probes {
+        for mode in [QueryMode::Full, QueryMode::Sparse] {
+            let a = live.query_terms_with(&[t], mode, &mut ctx_live);
+            let b = mono.query_terms_with(&[t], mode, &mut ctx_mono);
+            prop_assert_eq!(
+                &a,
+                &b,
+                "single-term divergence on {:#x} ({:?}, {} gens)",
+                t,
+                mode,
+                live.num_generations()
+            );
+        }
+    }
+    // Multi-term AND queries stress the OR-first evaluation order: the
+    // per-row OR across components must happen before the η-AND.
+    for pair in probes.chunks(2) {
+        let a = live.query_terms_with(pair, QueryMode::Full, &mut ctx_live);
+        let b = mono.query_terms_with(pair, QueryMode::Full, &mut ctx_mono);
+        prop_assert_eq!(&a, &b, "multi-term divergence on {:x?}", pair);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole invariant: for any archive, any geometry seed, any
+    /// generation config, and any fuzzed schedule of seals and merges
+    /// interleaved with the inserts, queries through the generational
+    /// index equal the from-scratch monolith — checked after *every*
+    /// insert and after every maintenance step.
+    #[test]
+    fn interleaved_inserts_seals_and_merges_match_monolith(
+        archive in archive_strategy(16),
+        cap in 1usize..5,
+        tier_growth in 1u64..4,
+        max_generations in 1usize..4,
+        seed in any::<u64>(),
+        // One schedule byte per insert: bit 0 = force a seal after it,
+        // bit 1 = run one merge step, bit 2 = run maintenance to quiescence.
+        schedule in proptest::collection::vec(0u8..8, 16),
+    ) {
+        let params = RamboParams::flat(8, 3, 1 << 10, 2, seed);
+        let config = GenerationConfig {
+            memtable_fpr_budget: 1.0, // doc cap drives auto-seals
+            memtable_max_docs: cap,
+            tier_growth,
+            max_generations,
+        };
+        let mut live = GenerationalIndex::new(params, config).unwrap();
+        let probes = probe_set(&archive);
+        for (i, (name, terms)) in archive.docs.iter().enumerate() {
+            let id = live.insert_document(name, terms).unwrap();
+            prop_assert_eq!(id, i as u32, "global ids must be dense and stable");
+            let step = schedule[i % schedule.len()];
+            if step & 1 != 0 {
+                live.seal_memtable().unwrap();
+            }
+            if step & 2 != 0 {
+                live.merge_once().unwrap();
+            }
+            if step & 4 != 0 {
+                live.maintain().unwrap();
+            }
+            let mono = oracle(params, &archive.docs[..=i]);
+            assert_parity(&live, &mono, &probes);
+            prop_assert_eq!(
+                live.to_monolithic().unwrap(),
+                mono,
+                "collapsed index must equal the from-scratch build"
+            );
+        }
+        prop_assert_eq!(live.num_documents(), archive.docs.len());
+        for (i, (name, _)) in archive.docs.iter().enumerate() {
+            prop_assert_eq!(live.document_id(name), Some(i as u32));
+            prop_assert_eq!(live.document_name(i as u32), name.as_str());
+        }
+    }
+
+    /// The merge policy must respect its bound for any config: after
+    /// maintenance reaches quiescence, at most `max_generations` immutable
+    /// generations remain.
+    #[test]
+    fn maintenance_bounds_generation_count(
+        archive in archive_strategy(24),
+        cap in 1usize..4,
+        tier_growth in 1u64..4,
+        max_generations in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let params = RamboParams::flat(8, 2, 1 << 10, 2, seed);
+        let config = GenerationConfig {
+            memtable_fpr_budget: 1.0,
+            memtable_max_docs: cap,
+            tier_growth,
+            max_generations,
+        };
+        let mut live = GenerationalIndex::new(params, config).unwrap();
+        for (name, terms) in &archive.docs {
+            live.insert_document(name, terms).unwrap();
+            live.maintain().unwrap();
+            prop_assert!(
+                live.num_generations() <= max_generations,
+                "{} generations exceeds the cap {}",
+                live.num_generations(),
+                max_generations
+            );
+        }
+        // Ids survive the full churn.
+        for (i, (name, _)) in archive.docs.iter().enumerate() {
+            prop_assert_eq!(live.document_id(name), Some(i as u32));
+        }
+    }
+
+    /// Zero false negatives carries over verbatim: a document is returned
+    /// for every term it contains, no matter how the generations are laid
+    /// out when the query lands.
+    #[test]
+    fn zero_false_negatives_across_generations(
+        archive in archive_strategy(16),
+        cap in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let params = RamboParams::flat(8, 3, 1 << 10, 2, seed);
+        let config = GenerationConfig {
+            memtable_max_docs: cap,
+            ..GenerationConfig::default()
+        };
+        let mut live = GenerationalIndex::new(params, config).unwrap();
+        for (name, terms) in &archive.docs {
+            live.insert_document(name, terms).unwrap();
+        }
+        live.maintain().unwrap();
+        let mut ctx = QueryContext::new();
+        for (d, (_, terms)) in archive.docs.iter().enumerate() {
+            for &t in terms {
+                for mode in [QueryMode::Full, QueryMode::Sparse] {
+                    prop_assert!(
+                        live.query_terms_with(&[t], mode, &mut ctx).contains(&(d as u32)),
+                        "false negative: doc {d} missing for {t:#x} ({mode:?})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -11,9 +11,113 @@
 //! costs metadata, not payload, no matter how many tiers it holds.
 
 use rambo_bitvec::{BlockCacheCounters, BlockCacheSnapshot, PagedFile};
-use rambo_core::{theory, Rambo, RamboError, TierCompression};
-use std::path::Path;
+use rambo_core::{theory, GenerationalIndex, Rambo, RamboError, TierCompression};
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Default block-cache budget for file-backed catalogs opened through
+/// [`CatalogBuilder`] when [`CatalogBuilder::cache_bytes`] is not called.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Errors from catalog construction — one typed enum instead of the ad-hoc
+/// `InvalidParams(String)`/`Decode(..)` stuffing the legacy constructors
+/// did. Converts into [`RamboError`] (preserving the legacy constructors'
+/// error shapes) so either error type flows through `?`.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// [`CatalogBuilder::build`] was called without a source.
+    MissingSource,
+    /// A live-index source ([`CatalogBuilder::base`] /
+    /// [`CatalogBuilder::generational`]) needs a tier spec
+    /// ([`CatalogBuilder::tier_buckets`], [`CatalogBuilder::tiers`] or
+    /// [`CatalogBuilder::halving`]) to know what to fold.
+    MissingTiers,
+    /// A tier spec was combined with an already-serialized source
+    /// (buffer/file) — those carry their tier layout in-band.
+    TiersWithSerializedSource,
+    /// The buffer or file held no serialized tiers.
+    Empty,
+    /// Tier bucket counts must strictly shrink (the FPR-routing rule
+    /// depends on that order).
+    NotShrinking {
+        /// Position of the offending tier.
+        tier: usize,
+        /// Its bucket count.
+        buckets: u64,
+        /// The preceding tier's bucket count.
+        prev: u64,
+    },
+    /// I/O failure opening a catalog file.
+    Io(std::io::Error),
+    /// Core index failure (decode, fold, parameter validation).
+    Index(RamboError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingSource => write!(f, "catalog builder needs a source"),
+            Self::MissingTiers => write!(
+                f,
+                "folding a live index needs a tier spec (tier_buckets/tiers/halving)"
+            ),
+            Self::TiersWithSerializedSource => write!(
+                f,
+                "tier specs only apply to live-index sources; serialized catalogs carry their tiers"
+            ),
+            Self::Empty => write!(f, "catalog source holds no tiers"),
+            Self::NotShrinking {
+                tier,
+                buckets,
+                prev,
+            } => write!(
+                f,
+                "catalog tiers must shrink: tier {tier} has {buckets} buckets after {prev}"
+            ),
+            Self::Io(e) => write!(f, "catalog file: {e}"),
+            Self::Index(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RamboError> for CatalogError {
+    fn from(e: RamboError) -> Self {
+        Self::Index(e)
+    }
+}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The legacy constructors promised [`RamboError`]; this conversion keeps
+/// their error shapes exactly (shape errors → `InvalidParams`, I/O →
+/// `Decode`, core errors pass through) while the builder reports the richer
+/// [`CatalogError`].
+impl From<CatalogError> for RamboError {
+    fn from(e: CatalogError) -> Self {
+        match e {
+            CatalogError::Index(inner) => inner,
+            CatalogError::Io(io) => RamboError::Decode(rambo_bitvec::DecodeError::new(format!(
+                "catalog open: {io}"
+            ))),
+            other => RamboError::InvalidParams(other.to_string()),
+        }
+    }
+}
 
 /// Term multiplicity assumed when predicting a tier's false-positive rate.
 /// Serving cannot know each query term's true document multiplicity `V`, so
@@ -90,17 +194,46 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// Start a [`CatalogBuilder`] — the one entry point behind every way of
+    /// making a catalog (in-memory buffer, file-backed paged open, folding a
+    /// live [`Rambo`], or snapshotting a [`GenerationalIndex`]).
+    ///
+    /// ```
+    /// use rambo_core::{Rambo, RamboParams};
+    /// use rambo_server::Catalog;
+    ///
+    /// let mut index = Rambo::new(RamboParams::flat(16, 3, 1 << 12, 2, 7)).unwrap();
+    /// for d in 0..24u64 {
+    ///     index
+    ///         .insert_document(&format!("doc{d}"), (0..40).map(|t| d << 16 | t))
+    ///         .unwrap();
+    /// }
+    /// let catalog = Catalog::builder().base(&index).halving(1).build().unwrap();
+    /// assert_eq!(catalog.len(), 2);
+    /// ```
+    #[must_use]
+    pub fn builder<'a>() -> CatalogBuilder<'a> {
+        CatalogBuilder::new()
+    }
+
     /// Build a catalog from a live index: serialize `base` folded to each
     /// geometry in `tier_buckets` (strictly decreasing; see
     /// [`Rambo::fold_catalog_bytes`]) and re-open every version zero-copy
     /// from the concatenated buffer.
     ///
+    /// Deprecated: prefer [`Catalog::builder`] —
+    /// `Catalog::builder().base(base).tier_buckets(tier_buckets).build()`.
+    /// Kept as a thin wrapper for source compatibility.
+    ///
     /// # Errors
     /// Everything [`Rambo::fold_catalog_bytes`] and [`Catalog::open`] can
     /// raise.
     pub fn build(base: &Rambo, tier_buckets: &[u64]) -> Result<Self, RamboError> {
-        let bytes = base.fold_catalog_bytes(tier_buckets)?;
-        Self::open(bytes.into())
+        Self::builder()
+            .base(base)
+            .tier_buckets(tier_buckets)
+            .build()
+            .map_err(RamboError::from)
     }
 
     /// [`Catalog::build`] with a per-tier compression flag
@@ -110,22 +243,34 @@ impl Catalog {
     /// tier 0 (large and sparse — where RRR wins) and keeps hot folded
     /// tiers dense on the kernel fast path.
     ///
+    /// Deprecated: prefer [`Catalog::builder`] —
+    /// `Catalog::builder().base(base).tiers(tiers).build()`.
+    ///
     /// # Errors
     /// Everything [`Catalog::build`] can raise.
     pub fn build_with(base: &Rambo, tiers: &[(u64, TierCompression)]) -> Result<Self, RamboError> {
-        let bytes = base.fold_catalog_bytes_with(tiers)?;
-        Self::open(bytes.into())
+        Self::builder()
+            .base(base)
+            .tiers(tiers)
+            .build()
+            .map_err(RamboError::from)
     }
 
     /// [`Catalog::build`] with `levels` halvings from the base geometry:
     /// tiers `B, B/2, …, B/2^levels`.
     ///
+    /// Deprecated: prefer [`Catalog::builder`] —
+    /// `Catalog::builder().base(base).halving(levels).build()`.
+    ///
     /// # Errors
     /// [`RamboError::FoldUnavailable`] when a halving is unreachable, plus
     /// everything [`Catalog::build`] can raise.
     pub fn build_halving(base: &Rambo, levels: u32) -> Result<Self, RamboError> {
-        let tiers: Vec<u64> = (0..=levels).map(|l| base.buckets() >> l).collect();
-        Self::build(base, &tiers)
+        Self::builder()
+            .base(base)
+            .halving(levels)
+            .build()
+            .map_err(RamboError::from)
     }
 
     /// Open a catalog from its serialized form: a buffer holding one or
@@ -153,11 +298,18 @@ impl Catalog {
     /// assert!(catalog.info(1).predicted_fpr > catalog.info(0).predicted_fpr);
     /// ```
     ///
+    /// Deprecated: prefer [`Catalog::builder`] —
+    /// `Catalog::builder().buffer(buf).build()`.
+    ///
     /// # Errors
     /// [`RamboError::Decode`] on malformed bytes, and
     /// [`RamboError::InvalidParams`] when the versions are not strictly
     /// shrinking in bucket count (the selection rule needs that order).
     pub fn open(buf: Arc<[u8]>) -> Result<Self, RamboError> {
+        Self::open_inner(buf).map_err(RamboError::from)
+    }
+
+    fn open_inner(buf: Arc<[u8]>) -> Result<Self, CatalogError> {
         let mut tiers = Vec::new();
         let mut offset = 0;
         while offset < buf.len() {
@@ -172,7 +324,7 @@ impl Catalog {
             offset += used;
         }
         if tiers.is_empty() {
-            return Err(RamboError::InvalidParams("empty catalog buffer".into()));
+            return Err(CatalogError::Empty);
         }
         Ok(Self {
             source: Source::Buffer(buf),
@@ -191,13 +343,18 @@ impl Catalog {
     /// RRR-compressed tiers in the file decode eagerly at open (they are
     /// small by construction) and serve from memory, uncached.
     ///
+    /// Deprecated: prefer [`Catalog::builder`] —
+    /// `Catalog::builder().file(path).cache_bytes(n).build()`.
+    ///
     /// # Errors
     /// I/O failures surface as [`RamboError::Decode`], plus everything
     /// [`Catalog::open`] can raise on malformed metadata.
     pub fn open_paged(path: impl AsRef<Path>, cache_bytes: usize) -> Result<Self, RamboError> {
-        let file = PagedFile::open(path, cache_bytes).map_err(|e| {
-            RamboError::Decode(rambo_bitvec::DecodeError::new(format!("catalog open: {e}")))
-        })?;
+        Self::open_paged_inner(path.as_ref(), cache_bytes).map_err(RamboError::from)
+    }
+
+    fn open_paged_inner(path: &Path, cache_bytes: usize) -> Result<Self, CatalogError> {
+        let file = PagedFile::open(path, cache_bytes)?;
         let mut tiers = Vec::new();
         let mut offset = 0u64;
         while offset < file.len() {
@@ -216,7 +373,7 @@ impl Catalog {
             offset += used;
         }
         if tiers.is_empty() {
-            return Err(RamboError::InvalidParams("empty catalog file".into()));
+            return Err(CatalogError::Empty);
         }
         Ok(Self {
             source: Source::Paged(file),
@@ -308,16 +465,194 @@ impl Catalog {
     }
 }
 
+/// How a [`CatalogBuilder`] derives tier geometries from a live index.
+#[derive(Debug, Clone)]
+enum TierSpec {
+    /// Explicit `(buckets, compression)` list.
+    Explicit(Vec<(u64, TierCompression)>),
+    /// `levels` halvings from the base geometry, all dense.
+    Halving(u32),
+}
+
+/// Where a [`CatalogBuilder`]'s tiers come from.
+#[derive(Debug)]
+enum BuilderSource<'a> {
+    /// An already-serialized catalog held in memory (tiers open zero-copy).
+    Buffer(Arc<[u8]>),
+    /// An already-serialized catalog file (tiers open paged through the
+    /// block cache).
+    File(PathBuf),
+    /// A live index to fold per the tier spec.
+    Base(&'a Rambo),
+    /// A generational index to snapshot (monolithic rebuild) and fold.
+    Generational(&'a GenerationalIndex),
+}
+
+/// The one entry point for catalog construction, collapsing the legacy
+/// `open` / `open_paged` / `build` / `build_with` / `build_halving` family:
+/// pick exactly one **source**, optionally a **tier spec** (required for
+/// live-index sources, rejected for serialized ones — those carry their tier
+/// layout in-band), and for file sources a block-cache budget.
+///
+/// ```no_run
+/// use rambo_server::Catalog;
+///
+/// let catalog = Catalog::builder()
+///     .file("/data/genomes.cat")
+///     .cache_bytes(128 << 20)
+///     .build()?;
+/// # Ok::<(), rambo_server::CatalogError>(())
+/// ```
+#[derive(Debug)]
+pub struct CatalogBuilder<'a> {
+    source: Option<BuilderSource<'a>>,
+    tiers: Option<TierSpec>,
+    cache_bytes: usize,
+}
+
+impl Default for CatalogBuilder<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> CatalogBuilder<'a> {
+    /// Fresh builder: no source, no tier spec,
+    /// [`DEFAULT_CACHE_BYTES`] of block cache for file sources.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            source: None,
+            tiers: None,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+        }
+    }
+
+    /// Source: an already-serialized catalog buffer (the
+    /// [`Rambo::fold_catalog_bytes`] concatenation layout). Tiers open
+    /// zero-copy, borrowing their payloads from `buf`.
+    #[must_use]
+    pub fn buffer(mut self, buf: Arc<[u8]>) -> Self {
+        self.source = Some(BuilderSource::Buffer(buf));
+        self
+    }
+
+    /// Source: a serialized catalog file. Only metadata is read at build;
+    /// dense payloads fault through a shared block cache sized by
+    /// [`CatalogBuilder::cache_bytes`].
+    #[must_use]
+    pub fn file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = Some(BuilderSource::File(path.into()));
+        self
+    }
+
+    /// Source: a live index to fold into tiers (a tier spec is required).
+    #[must_use]
+    pub fn base(mut self, base: &'a Rambo) -> Self {
+        self.source = Some(BuilderSource::Base(base));
+        self
+    }
+
+    /// Source: a [`GenerationalIndex`] — snapshotted via
+    /// [`GenerationalIndex::to_monolithic`] (bit-identical to a from-scratch
+    /// build over the same documents) and then folded like
+    /// [`CatalogBuilder::base`]. A tier spec is required.
+    #[must_use]
+    pub fn generational(mut self, live: &'a GenerationalIndex) -> Self {
+        self.source = Some(BuilderSource::Generational(live));
+        self
+    }
+
+    /// Tier spec: explicit strictly-decreasing bucket counts, all dense.
+    #[must_use]
+    pub fn tier_buckets(mut self, buckets: &[u64]) -> Self {
+        self.tiers = Some(TierSpec::Explicit(
+            buckets
+                .iter()
+                .map(|&b| (b, TierCompression::Dense))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Tier spec: explicit bucket counts with per-tier compression.
+    #[must_use]
+    pub fn tiers(mut self, tiers: &[(u64, TierCompression)]) -> Self {
+        self.tiers = Some(TierSpec::Explicit(tiers.to_vec()));
+        self
+    }
+
+    /// Tier spec: `levels` halvings from the base geometry
+    /// (`B, B/2, …, B/2^levels`), all dense.
+    #[must_use]
+    pub fn halving(mut self, levels: u32) -> Self {
+        self.tiers = Some(TierSpec::Halving(levels));
+        self
+    }
+
+    /// Block-cache budget (total bytes) for file sources. Ignored for other
+    /// sources. Defaults to [`DEFAULT_CACHE_BYTES`].
+    #[must_use]
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Build the catalog.
+    ///
+    /// # Errors
+    /// [`CatalogError::MissingSource`] / [`CatalogError::MissingTiers`] /
+    /// [`CatalogError::TiersWithSerializedSource`] on inconsistent builder
+    /// state, and the underlying fold/decode/I-O failures otherwise.
+    pub fn build(self) -> Result<Catalog, CatalogError> {
+        let source = self.source.ok_or(CatalogError::MissingSource)?;
+        match source {
+            BuilderSource::Buffer(buf) => {
+                if self.tiers.is_some() {
+                    return Err(CatalogError::TiersWithSerializedSource);
+                }
+                Catalog::open_inner(buf)
+            }
+            BuilderSource::File(path) => {
+                if self.tiers.is_some() {
+                    return Err(CatalogError::TiersWithSerializedSource);
+                }
+                Catalog::open_paged_inner(&path, self.cache_bytes)
+            }
+            BuilderSource::Base(base) => {
+                let spec = self.tiers.ok_or(CatalogError::MissingTiers)?;
+                Catalog::open_inner(fold_spec(base, &spec)?.into())
+            }
+            BuilderSource::Generational(live) => {
+                let spec = self.tiers.ok_or(CatalogError::MissingTiers)?;
+                let mono = live.to_monolithic()?;
+                Catalog::open_inner(fold_spec(&mono, &spec)?.into())
+            }
+        }
+    }
+}
+
+/// Serialize `base` folded per `spec` (the concatenated catalog layout).
+fn fold_spec(base: &Rambo, spec: &TierSpec) -> Result<Vec<u8>, CatalogError> {
+    let bytes = match spec {
+        TierSpec::Explicit(tiers) => base.fold_catalog_bytes_with(tiers)?,
+        TierSpec::Halving(levels) => {
+            let tiers: Vec<u64> = (0..=*levels).map(|l| base.buckets() >> l).collect();
+            base.fold_catalog_bytes(&tiers)?
+        }
+    };
+    Ok(bytes)
+}
+
 /// Reject a tier that does not strictly shrink the bucket count.
-fn check_shrinking(tiers: &[Tier], index: &Rambo) -> Result<(), RamboError> {
+fn check_shrinking(tiers: &[Tier], index: &Rambo) -> Result<(), CatalogError> {
     if let Some(prev) = tiers.last() {
         if index.buckets() >= prev.info.buckets {
-            return Err(RamboError::InvalidParams(format!(
-                "catalog tiers must shrink: tier {} has {} buckets after {}",
-                tiers.len(),
-                index.buckets(),
-                prev.info.buckets
-            )));
+            return Err(CatalogError::NotShrinking {
+                tier: tiers.len(),
+                buckets: index.buckets(),
+                prev: prev.info.buckets,
+            });
         }
     }
     Ok(())

@@ -33,7 +33,9 @@ use crate::cache::ResultCache;
 use crate::catalog::Catalog;
 use crate::scheduler::{run_worker, BatchKnobs, LaneGate, Reply, Request, INLINE_OVERLAP_WINDOW};
 use crate::stats::{ServerStats, SlowQuery, SlowQueryLog, TierCounters};
-use rambo_core::{canonical_query_key, default_threads, DocId, QueryBatch, QueryMode};
+use rambo_core::{
+    canonical_query_key, default_threads, DocId, GenerationConfig, QueryBatch, QueryMode,
+};
 use rambo_workloads::stats::LatencyHistogram;
 use std::fmt;
 use std::sync::atomic::Ordering;
@@ -103,6 +105,10 @@ pub struct ServerConfig {
     /// Retain this many worst-latency requests in the slow-query log; `0`
     /// disables it.
     pub slow_log: usize,
+    /// Memtable sealing / generation merging policy for the mutable-index
+    /// server ([`crate::LiveServer`]). Ignored by the read-only catalog
+    /// server.
+    pub generations: GenerationConfig,
 }
 
 impl Default for ServerConfig {
@@ -117,7 +123,122 @@ impl Default for ServerConfig {
             mask_memo_terms: None,
             result_cache_bytes: 16 << 20,
             slow_log: 32,
+            generations: GenerationConfig::default(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Start a [`ServerConfigBuilder`] whose defaults are exactly
+    /// [`ServerConfig::default`] — the one place to set every serving knob,
+    /// including the mutable-index [`GenerationConfig`].
+    #[must_use]
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::new()
+    }
+}
+
+/// Builder for [`ServerConfig`]: every scattered serving knob (scheduler
+/// mode, batching, admission, caching, slow log) plus the mutable-index
+/// generation policy in one place. Unset knobs keep today's defaults.
+///
+/// ```
+/// use rambo_server::{SchedulerMode, ServerConfig};
+///
+/// let config = ServerConfig::builder()
+///     .max_batch(32)
+///     .scheduler(SchedulerMode::AlwaysBatch)
+///     .result_cache_bytes(0)
+///     .build();
+/// assert_eq!(config.max_batch, 32);
+/// assert_eq!(config.queue_capacity, ServerConfig::default().queue_capacity);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Fresh builder seeded with [`ServerConfig::default`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`ServerConfig::max_batch`].
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.max_batch = n;
+        self
+    }
+
+    /// See [`ServerConfig::max_delay`].
+    #[must_use]
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.config.max_delay = d;
+        self
+    }
+
+    /// See [`ServerConfig::queue_capacity`].
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    /// See [`ServerConfig::workers_per_tier`].
+    #[must_use]
+    pub fn workers_per_tier(mut self, n: usize) -> Self {
+        self.config.workers_per_tier = n;
+        self
+    }
+
+    /// See [`ServerConfig::default_mode`].
+    #[must_use]
+    pub fn default_mode(mut self, mode: QueryMode) -> Self {
+        self.config.default_mode = mode;
+        self
+    }
+
+    /// See [`ServerConfig::scheduler`].
+    #[must_use]
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.config.scheduler = mode;
+        self
+    }
+
+    /// See [`ServerConfig::mask_memo_terms`].
+    #[must_use]
+    pub fn mask_memo_terms(mut self, terms: Option<usize>) -> Self {
+        self.config.mask_memo_terms = terms;
+        self
+    }
+
+    /// See [`ServerConfig::result_cache_bytes`].
+    #[must_use]
+    pub fn result_cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.result_cache_bytes = bytes;
+        self
+    }
+
+    /// See [`ServerConfig::slow_log`].
+    #[must_use]
+    pub fn slow_log(mut self, depth: usize) -> Self {
+        self.config.slow_log = depth;
+        self
+    }
+
+    /// See [`ServerConfig::generations`].
+    #[must_use]
+    pub fn generations(mut self, config: GenerationConfig) -> Self {
+        self.config.generations = config;
+        self
+    }
+
+    /// Finish: the assembled [`ServerConfig`].
+    #[must_use]
+    pub fn build(self) -> ServerConfig {
+        self.config
     }
 }
 

@@ -15,6 +15,11 @@
 //!
 //! hello-request  := u32 len(=1) | u8 opcode(=3)
 //! hello-response := u32 len | u8 status(=0) | manifest bytes
+//!
+//! mutate-request  := u32 len | u8 opcode(=4) | 3 × u8 reserved(=0)
+//!                    | u32 name_len | name utf8 | u32 n_terms | n_terms × u64
+//! mutate-response := u32 len | u8 status(=0) | u32 doc_id | u64 epoch
+//!                  | u32 len | u8 status(=5) | utf8 reason   (rejected)
 //! ```
 //!
 //! `len` counts the bytes after the length field. One connection carries any
@@ -49,58 +54,68 @@ use std::time::Duration;
 
 /// Upper bound on a frame payload (16 MiB ≈ two million query terms): a
 /// corrupt or hostile length prefix must not become an allocation.
-const MAX_FRAME_BYTES: usize = 16 << 20;
+pub(crate) const MAX_FRAME_BYTES: usize = 16 << 20;
 
-const OPCODE_QUERY: u8 = 1;
-const OPCODE_STATS: u8 = 2;
-const OPCODE_HELLO: u8 = 3;
+pub(crate) const OPCODE_QUERY: u8 = 1;
+pub(crate) const OPCODE_STATS: u8 = 2;
+pub(crate) const OPCODE_HELLO: u8 = 3;
+/// Live-insert opcode, served only by the mutable-index front
+/// ([`crate::serve_live_tcp`]); the read-only catalog front answers it with
+/// the bad-request status.
+pub(crate) const OPCODE_MUTATE: u8 = 4;
 
-const STATUS_OK: u8 = 0;
-const STATUS_OVERLOADED: u8 = 1;
-const STATUS_DEADLINE: u8 = 2;
-const STATUS_BAD_REQUEST: u8 = 3;
+pub(crate) const STATUS_OK: u8 = 0;
+pub(crate) const STATUS_OVERLOADED: u8 = 1;
+pub(crate) const STATUS_DEADLINE: u8 = 2;
+pub(crate) const STATUS_BAD_REQUEST: u8 = 3;
+/// A well-formed mutate the index refused (duplicate name, id space
+/// exhausted). Unlike `STATUS_BAD_REQUEST` the stream is not
+/// desynchronized, so the connection stays open.
+pub(crate) const STATUS_MUTATE_REJECTED: u8 = 5;
 
 /// Reactor nap with replies in flight: short, so a worker's answer is
 /// picked up within ~a batch collection window.
-const REACTOR_BUSY_SLEEP: Duration = Duration::from_micros(50);
+pub(crate) const REACTOR_BUSY_SLEEP: Duration = Duration::from_micros(50);
 /// Reactor nap with nothing in flight: the stop-flag/accept poll cadence.
-const REACTOR_IDLE_SLEEP: Duration = Duration::from_millis(1);
+pub(crate) const REACTOR_IDLE_SLEEP: Duration = Duration::from_millis(1);
 /// Per-read chunk size.
-const READ_CHUNK: usize = 16 << 10;
+pub(crate) const READ_CHUNK: usize = 16 << 10;
 /// Per-connection cap on decoded-but-unanswered frames: a client that
 /// pipelines faster than the server drains stops being read (TCP
 /// backpressure) instead of growing an unbounded reply queue.
-const MAX_PIPELINED: usize = 1024;
+pub(crate) const MAX_PIPELINED: usize = 1024;
 
 /// A reply owed to the client, in request order.
-enum PendingFrame {
+pub(crate) enum PendingFrame {
     /// Already encoded (errors, stats dumps, inline/cached completions).
     Ready(Vec<u8>),
     /// Waiting on an evaluator worker.
     Query(PendingReply),
 }
 
-/// One multiplexed connection's state.
-struct Conn {
-    stream: TcpStream,
+/// One multiplexed connection's state. Shared with the mutable-index front
+/// (`crate::live`), whose reactor reuses the same read/decode/write
+/// plumbing with an always-immediate dispatch.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
     /// Raw bytes read but not yet parsed into frames.
-    inbuf: Vec<u8>,
+    pub(crate) inbuf: Vec<u8>,
     /// Replies owed, in request order.
-    pending: VecDeque<PendingFrame>,
+    pub(crate) pending: VecDeque<PendingFrame>,
     /// Encoded bytes not yet accepted by the socket.
-    outbuf: Vec<u8>,
+    pub(crate) outbuf: Vec<u8>,
     /// Prefix of `outbuf` already written.
-    sent: usize,
+    pub(crate) sent: usize,
     /// Close after flushing what is owed (protocol error path).
-    closing: bool,
+    pub(crate) closing: bool,
     /// Peer closed its write side.
-    read_closed: bool,
+    pub(crate) read_closed: bool,
     /// Ready to be dropped.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> io::Result<Self> {
+    pub(crate) fn new(stream: TcpStream) -> io::Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         Ok(Self {
@@ -402,7 +417,7 @@ fn dispatch(
 }
 
 /// Decode a request payload into terms and options.
-fn parse_request(payload: &[u8]) -> Option<(Vec<u64>, QueryOptions)> {
+pub(crate) fn parse_request(payload: &[u8]) -> Option<(Vec<u64>, QueryOptions)> {
     if payload.len() < 20 {
         return None;
     }
@@ -443,8 +458,58 @@ fn parse_request(payload: &[u8]) -> Option<(Vec<u64>, QueryOptions)> {
     Some((terms, opts))
 }
 
+/// Decode a mutate payload into a document name and its terms.
+pub(crate) fn parse_mutate(payload: &[u8]) -> Option<(String, Vec<u64>)> {
+    if payload.len() < 12 || payload[0] != OPCODE_MUTATE {
+        return None;
+    }
+    if payload[1] != 0 || payload[2] != 0 || payload[3] != 0 {
+        return None;
+    }
+    let name_len = u32::from_le_bytes(payload[4..8].try_into().ok()?) as usize;
+    let rest = &payload[8..];
+    if rest.len() < name_len + 4 {
+        return None;
+    }
+    let name = std::str::from_utf8(&rest[..name_len]).ok()?.to_owned();
+    if name.is_empty() {
+        return None;
+    }
+    let n_terms = u32::from_le_bytes(rest[name_len..name_len + 4].try_into().ok()?) as usize;
+    let body = &rest[name_len + 4..];
+    if body.len() != n_terms * 8 {
+        return None;
+    }
+    let terms = body
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect();
+    Some((name, terms))
+}
+
+/// Encode a successful mutate response (document id + structural epoch).
+pub(crate) fn encode_mutate_ok(doc_id: u32, epoch: u64) -> Vec<u8> {
+    let len = 1 + 4 + 8;
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(STATUS_OK);
+    frame.extend_from_slice(&doc_id.to_le_bytes());
+    frame.extend_from_slice(&epoch.to_le_bytes());
+    frame
+}
+
+/// Encode a mutate rejection (the index refused; connection stays open).
+pub(crate) fn encode_mutate_rejected(reason: &str) -> Vec<u8> {
+    let len = 1 + reason.len();
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(STATUS_MUTATE_REJECTED);
+    frame.extend_from_slice(reason.as_bytes());
+    frame
+}
+
 /// Encode one response frame.
-fn encode_response(status: u8, tier: u32, docs: &[u32]) -> Vec<u8> {
+pub(crate) fn encode_response(status: u8, tier: u32, docs: &[u32]) -> Vec<u8> {
     let len = 1 + 4 + 4 + docs.len() * 4;
     let mut frame = Vec::with_capacity(4 + len);
     frame.extend_from_slice(&(len as u32).to_le_bytes());
@@ -464,6 +529,9 @@ pub enum TcpClientError {
     Io(io::Error),
     /// The server answered with a non-OK status.
     Server(ServerError),
+    /// A well-formed mutate the server's index refused (duplicate document
+    /// name, exhausted id space). The connection remains usable.
+    Rejected(String),
     /// The server sent a malformed or unknown frame.
     Protocol(String),
 }
@@ -473,6 +541,7 @@ impl std::fmt::Display for TcpClientError {
         match self {
             Self::Io(e) => write!(f, "transport error: {e}"),
             Self::Server(e) => write!(f, "server rejected the query: {e}"),
+            Self::Rejected(msg) => write!(f, "server rejected the mutation: {msg}"),
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
@@ -483,7 +552,7 @@ impl std::error::Error for TcpClientError {
         match self {
             Self::Io(e) => Some(e),
             Self::Server(e) => Some(e),
-            Self::Protocol(_) => None,
+            Self::Rejected(_) | Self::Protocol(_) => None,
         }
     }
 }
@@ -710,6 +779,55 @@ impl TcpClient {
             .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
             .collect();
         Ok(QueryReply { docs, tier })
+    }
+
+    /// Insert a document with its term set into a **mutable-index** server
+    /// ([`crate::serve_live_tcp`]); the read-only catalog front answers the
+    /// mutate opcode with the bad-request status. Returns the issued global
+    /// document id and the index's structural epoch after the insert (which
+    /// advances when the insert triggered a memtable seal).
+    ///
+    /// # Errors
+    /// [`TcpClientError::Rejected`] when the index refuses (duplicate name —
+    /// the connection stays open), [`TcpClientError::Io`] /
+    /// [`TcpClientError::Protocol`] on transport or framing failures.
+    pub fn insert_document(
+        &mut self,
+        name: &str,
+        terms: &[u64],
+    ) -> Result<(u32, u64), TcpClientError> {
+        let len = 4 + 4 + name.len() + 4 + terms.len() * 8;
+        let mut frame = Vec::with_capacity(4 + len);
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.push(OPCODE_MUTATE);
+        frame.extend_from_slice(&[0, 0, 0]); // reserved
+        frame.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        frame.extend_from_slice(name.as_bytes());
+        frame.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+        for &t in terms {
+            frame.extend_from_slice(&t.to_le_bytes());
+        }
+        self.stream.write_all(&frame)?;
+        let payload = self.read_frame()?;
+        match payload[0] {
+            STATUS_OK if payload.len() == 13 => {
+                let doc_id = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes"));
+                let epoch = u64::from_le_bytes(payload[5..13].try_into().expect("8 bytes"));
+                Ok((doc_id, epoch))
+            }
+            STATUS_OK => Err(TcpClientError::Protocol(
+                "mutate response length disagrees with layout".into(),
+            )),
+            STATUS_MUTATE_REJECTED => Err(TcpClientError::Rejected(
+                String::from_utf8_lossy(&payload[1..]).into_owned(),
+            )),
+            STATUS_BAD_REQUEST => Err(TcpClientError::Protocol(
+                "server does not accept mutations".into(),
+            )),
+            other => Err(TcpClientError::Protocol(format!(
+                "unknown response status {other}"
+            ))),
+        }
     }
 
     /// Send one raw, pre-framed request (length prefix included) and read

@@ -1,0 +1,327 @@
+//! End-to-end tests for the mutable-index server: live inserts under
+//! concurrent background merges stay bit-identical to a monolithic
+//! rebuild, the result cache never serves a stale answer across an
+//! insert, the `MUTATE` TCP opcode round-trips, and the unified
+//! [`CatalogBuilder`] matches every legacy constructor byte-for-byte.
+
+use rambo_core::{GenerationConfig, QueryContext, QueryMode, Rambo, RamboParams, TierCompression};
+use rambo_server::{
+    serve_live_tcp, Catalog, LiveServer, ServeOptions, ServerConfig, TcpClient, TcpClientError,
+};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn params() -> RamboParams {
+    RamboParams::flat(16, 3, 1 << 12, 2, 7)
+}
+
+/// Deterministic archive with per-document private terms + one shared term.
+fn archive(k: usize) -> Vec<(String, Vec<u64>)> {
+    (0..k)
+        .map(|d| {
+            let base = (d as u64) << 24;
+            let mut ts: Vec<u64> = (0..40u64).map(|t| base | t).collect();
+            ts.push(0xFFFF);
+            (format!("doc-{d}"), ts)
+        })
+        .collect()
+}
+
+fn oracle(docs: &[(String, Vec<u64>)]) -> Rambo {
+    let mut r = Rambo::new(params()).unwrap();
+    for (name, terms) in docs {
+        r.insert_document(name, terms.iter().copied()).unwrap();
+    }
+    r
+}
+
+/// Generation config that churns hard: seal every 4 docs, merge eagerly.
+fn churny() -> GenerationConfig {
+    GenerationConfig {
+        memtable_max_docs: 4,
+        tier_growth: 2,
+        max_generations: 3,
+        ..GenerationConfig::default()
+    }
+}
+
+#[test]
+fn live_inserts_match_monolith_while_background_merges_run() {
+    let docs = archive(40);
+    let config = ServerConfig::builder().generations(churny()).build();
+    let ((), stats) = LiveServer::scope(params(), config, |handle| {
+        for (i, (name, terms)) in docs.iter().enumerate() {
+            let id = handle.insert_document(name, terms).unwrap();
+            assert_eq!(id, i as u32, "ids must be dense and insertion-ordered");
+        }
+        // Concurrent readers while the merge thread churns the tail.
+        std::thread::scope(|s| {
+            for r in 0..4 {
+                let handle = &handle;
+                let docs = &docs;
+                s.spawn(move || {
+                    for (d, (_, terms)) in docs.iter().enumerate() {
+                        let t = terms[r % terms.len()];
+                        let got = handle.query(&[t], None);
+                        assert!(
+                            got.contains(&(d as u32)),
+                            "reader {r}: doc {d} missing for {t:#x}"
+                        );
+                    }
+                });
+            }
+        });
+        handle.drain_merges().unwrap();
+        // Bit-identity with the from-scratch monolith, both modes.
+        let mono = oracle(&docs);
+        let mut ctx = QueryContext::new();
+        for (_, terms) in &docs {
+            for &t in terms.iter().take(5) {
+                for mode in [QueryMode::Full, QueryMode::Sparse] {
+                    assert_eq!(
+                        handle.query(&[t], Some(mode)),
+                        mono.query_terms_with(&[t], mode, &mut ctx),
+                        "divergence on {t:#x} ({mode:?})"
+                    );
+                }
+            }
+        }
+        for (i, (name, _)) in docs.iter().enumerate() {
+            assert_eq!(handle.document_id(name), Some(i as u32));
+        }
+    })
+    .unwrap();
+    assert_eq!(stats.inserts, 40);
+    assert_eq!(stats.documents, 40);
+    assert!(
+        stats.seals >= 9,
+        "doc cap 4 over 40 docs must seal: {stats:?}"
+    );
+    assert!(stats.merges > 0, "churny config must merge: {stats:?}");
+    assert!(
+        stats.generations <= churny().max_generations,
+        "merge policy violated: {stats:?}"
+    );
+}
+
+#[test]
+fn result_cache_never_serves_stale_answers_across_inserts() {
+    let config = ServerConfig::builder()
+        .generations(churny())
+        .result_cache_bytes(1 << 20)
+        .build();
+    let ((), stats) = LiveServer::scope(params(), config, |handle| {
+        let shared = 0xFFFFu64;
+        handle.insert_document("a", &[1, shared]).unwrap();
+        // Prime the cache, then hit it.
+        assert_eq!(handle.query(&[shared], None), vec![0]);
+        assert_eq!(handle.query(&[shared], None), vec![0]);
+        // The insert bumps the cache version: the cached answer for the
+        // shared term must not mask the new document.
+        let id = handle.insert_document("b", &[2, shared]).unwrap();
+        assert_eq!(handle.query(&[shared], None), vec![0, id]);
+    })
+    .unwrap();
+    let cache = stats.cache.expect("cache enabled");
+    assert!(
+        cache.counters.hits >= 1,
+        "second lookup must hit: {cache:?}"
+    );
+}
+
+#[test]
+fn duplicate_insert_is_rejected_without_poisoning_the_index() {
+    let ((), _) = LiveServer::scope(params(), ServerConfig::default(), |handle| {
+        handle.insert_document("dup", &[10, 11]).unwrap();
+        handle.force_seal().unwrap();
+        // The name now lives in a sealed generation; the memtable must
+        // still refuse it.
+        assert!(handle.insert_document("dup", &[12]).is_err());
+        handle.insert_document("other", &[13]).unwrap();
+        assert_eq!(handle.query(&[10], None), vec![0]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn live_tcp_mutate_roundtrip() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    let docs = archive(12);
+    let config = ServerConfig::builder().generations(churny()).build();
+    LiveServer::scope(params(), config, |handle| {
+        std::thread::scope(|s| {
+            let server =
+                s.spawn(|| serve_live_tcp(handle, listener, &stop, &ServeOptions::default()));
+            let mut client = TcpClient::connect(addr).unwrap();
+            let mut epochs = Vec::new();
+            for (i, (name, terms)) in docs.iter().enumerate() {
+                let (id, epoch) = client.insert_document(name, terms).unwrap();
+                assert_eq!(id, i as u32);
+                epochs.push(epoch);
+            }
+            assert!(
+                epochs.last() > epochs.first(),
+                "seals must advance the wire-visible epoch: {epochs:?}"
+            );
+            // Duplicate name → in-protocol rejection, connection intact.
+            match client.insert_document(&docs[3].0, &[1]) {
+                Err(TcpClientError::Rejected(msg)) => {
+                    assert!(msg.contains("doc-3"), "reason should name the dup: {msg}")
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+            // Query over the same connection sees the inserted docs.
+            let reply = client
+                .query(&[(5u64 << 24) | 7], 1.0, Duration::from_secs(5))
+                .unwrap();
+            assert!(reply.docs.contains(&5));
+            let stats = client.stats().unwrap();
+            assert!(stats.contains("12 docs"), "stats frame: {stats}");
+            stop.store(true, Ordering::Relaxed);
+            server.join().unwrap().unwrap();
+        });
+    })
+    .unwrap();
+}
+
+#[test]
+fn malformed_mutate_frame_closes_the_connection() {
+    use std::io::{Read, Write};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    LiveServer::scope(params(), ServerConfig::default(), |handle| {
+        std::thread::scope(|s| {
+            let server =
+                s.spawn(|| serve_live_tcp(handle, listener, &stop, &ServeOptions::default()));
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            // Opcode 4 with a lying name length.
+            let mut frame = vec![4u8, 0, 0, 0];
+            frame.extend_from_slice(&999u32.to_le_bytes());
+            let mut wire = (frame.len() as u32).to_le_bytes().to_vec();
+            wire.extend_from_slice(&frame);
+            raw.write_all(&wire).unwrap();
+            let mut reply = Vec::new();
+            raw.read_to_end(&mut reply).unwrap(); // server closes after BAD_REQUEST
+            assert!(reply.len() >= 5);
+            assert_eq!(reply[4], 3, "status must be BAD_REQUEST");
+            stop.store(true, Ordering::Relaxed);
+            server.join().unwrap().unwrap();
+        });
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Unified builder vs legacy constructors.
+// ---------------------------------------------------------------------
+
+#[test]
+fn builder_matches_legacy_build() {
+    let index = oracle(&archive(24));
+    let legacy = Catalog::build(&index, &[16, 8]).unwrap();
+    let built = Catalog::builder()
+        .base(&index)
+        .tier_buckets(&[16, 8])
+        .build()
+        .unwrap();
+    assert_eq!(legacy.buffer(), built.buffer(), "byte-identical catalogs");
+    assert_eq!(legacy.len(), built.len());
+}
+
+#[test]
+fn builder_matches_legacy_build_with() {
+    let index = oracle(&archive(24));
+    let tiers = [(16, TierCompression::Dense), (8, TierCompression::Rrr)];
+    let legacy = Catalog::build_with(&index, &tiers).unwrap();
+    let built = Catalog::builder()
+        .base(&index)
+        .tiers(&tiers)
+        .build()
+        .unwrap();
+    assert_eq!(legacy.buffer(), built.buffer());
+}
+
+#[test]
+fn builder_matches_legacy_build_halving() {
+    let index = oracle(&archive(24));
+    let legacy = Catalog::build_halving(&index, 2).unwrap();
+    let built = Catalog::builder().base(&index).halving(2).build().unwrap();
+    assert_eq!(legacy.buffer(), built.buffer());
+    assert_eq!(legacy.len(), 3);
+}
+
+#[test]
+fn builder_matches_legacy_open_and_open_paged() {
+    let index = oracle(&archive(24));
+    let buf = std::sync::Arc::clone(Catalog::build(&index, &[16, 8]).unwrap().buffer());
+
+    let legacy = Catalog::open(std::sync::Arc::clone(&buf)).unwrap();
+    let built = Catalog::builder()
+        .buffer(std::sync::Arc::clone(&buf))
+        .build()
+        .unwrap();
+    assert_eq!(legacy.buffer(), built.buffer());
+
+    let dir = std::env::temp_dir().join(format!("rambo-live-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("catalog.rcat");
+    std::fs::write(&path, &buf[..]).unwrap();
+    let legacy = Catalog::open_paged(&path, 1 << 16).unwrap();
+    let built = Catalog::builder()
+        .file(&path)
+        .cache_bytes(1 << 16)
+        .build()
+        .unwrap();
+    assert_eq!(legacy.len(), built.len());
+    let mut ctx = QueryContext::new();
+    for t in [(3u64 << 24) | 1, 0xFFFF, 0xDEAD] {
+        for tier in 0..legacy.len() {
+            assert_eq!(
+                legacy
+                    .tier(tier)
+                    .query_terms_with(&[t], QueryMode::Full, &mut ctx),
+                built
+                    .tier(tier)
+                    .query_terms_with(&[t], QueryMode::Full, &mut ctx),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn builder_freezes_a_generational_index() {
+    let docs = archive(24);
+    let mut live = rambo_core::GenerationalIndex::new(params(), churny()).unwrap();
+    for (name, terms) in &docs {
+        live.insert_document(name, terms).unwrap();
+    }
+    live.maintain().unwrap();
+    let catalog = Catalog::builder()
+        .generational(&live)
+        .tier_buckets(&[16, 8])
+        .build()
+        .unwrap();
+    let reference = Catalog::build(&oracle(&docs), &[16, 8]).unwrap();
+    assert_eq!(catalog.buffer(), reference.buffer(), "snapshot ≡ monolith");
+}
+
+#[test]
+fn builder_rejects_contradictory_sources() {
+    let index = oracle(&archive(8));
+    // Base source without tiers.
+    assert!(Catalog::builder().base(&index).build().is_err());
+    // Serialized source with tiers.
+    let buf = std::sync::Arc::clone(Catalog::build(&index, &[16]).unwrap().buffer());
+    assert!(Catalog::builder()
+        .buffer(buf)
+        .tier_buckets(&[16])
+        .build()
+        .is_err());
+    // No source at all.
+    assert!(Catalog::builder().build().is_err());
+}

@@ -63,6 +63,13 @@ BENCH_storage.json|hot_over_cold_query_speedup
 # killing a full replica set must keep availability at 1.0 via degraded
 # replies. These are 0-or-1 outcomes, so the tolerance never excuses a
 # failure.
+#
+# Mutable-index floors: generations_parity_ok is the live-insert
+# bit-identity gate (0-or-1 — every query through the generational index
+# must equal a from-scratch monolithic rebuild, after a run full of
+# concurrent seals and merges); merge_read_p99_headroom >= 1.0 holds the
+# concurrent-read p99 under the mutable bench's latency ceiling while
+# background merges run.
 ABS_CHECKS="
 BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time|1.0
 BENCH_serve.json|batched_p99_speedup_vs_always_batch|1.0
@@ -72,13 +79,15 @@ BENCH_storage.json|cold_query_headroom|1.0
 BENCH_cluster.json|scatter_parity_ok|1.0
 BENCH_cluster.json|replica_kill_success|1.0
 BENCH_cluster.json|degraded_availability|1.0
+BENCH_mutable.json|generations_parity_ok|1.0
+BENCH_mutable.json|merge_read_p99_headroom|1.0
 "
 
 # Canonical runs: default flags except a fixed seed — these sizes are what
 # the committed baselines were recorded with. Keep flags here and baseline
 # regeneration (--update) in lockstep.
 run_benches() {
-    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold cluster_serve; do
+    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold cluster_serve mutable_load; do
         echo "+ cargo run --release -p rambo-bench --bin $bin" >&2
         cargo run --release -p rambo-bench --bin "$bin" >/dev/null
     done
@@ -94,7 +103,7 @@ run_benches
 
 if [ "${1:-}" = "--update" ]; then
     mkdir -p "$BASELINE_DIR"
-    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json BENCH_cluster.json; do
+    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json BENCH_cluster.json BENCH_mutable.json; do
         cp "$f" "$BASELINE_DIR/$f"
         echo "blessed $BASELINE_DIR/$f"
     done
@@ -110,6 +119,7 @@ bin_of() {
         BENCH_serve.json) echo serve_load ;;
         BENCH_storage.json) echo storage_cold ;;
         BENCH_cluster.json) echo cluster_serve ;;
+        BENCH_mutable.json) echo mutable_load ;;
     esac
 }
 

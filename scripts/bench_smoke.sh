@@ -47,3 +47,9 @@ run cargo run --release -p rambo-bench --bin cluster_serve -- \
 run cargo run --release -p rambo-bench --bin storage_cold -- \
     --docs 60 --terms 300 --buckets 256 \
     --paged-docs 16 --paged-terms 120 --paged-m-bits 16 --queries 64
+# mutable-smoke: streams live inserts into the generational index while
+# closed-loop readers query through the background seal/merge churn, then
+# asserts every answer (both modes, single- and multi-term) bit-identical
+# to a from-scratch monolithic rebuild.
+run cargo run --release -p rambo-bench --bin mutable_load -- \
+    --docs 60 --mean-terms 200 --queries 300 --readers 2 --memtable-cap 8
