@@ -1,0 +1,300 @@
+//! Multi-tenant RESP serving benchmark: one process, one reactor, many
+//! named RAMBO indexes driven concurrently over the text protocol.
+//!
+//! `--tenants` client threads each create their own named index over a
+//! live RESP connection, stream a per-tenant corpus through `R.INSERTDOC`
+//! (tenant 0 gets a Zipf-distributed text corpus, the rest synthetic
+//! archives), then measure `R.QUERYSEQ` latency over the wire. After the
+//! load, every tenant's probe battery is replayed against an **isolated
+//! single-index oracle** built from exactly that tenant's documents;
+//! `tenant_isolation_parity_ok` is 1 only if every wire answer is
+//! identical to its oracle — multi-tenancy must be unobservable from
+//! inside a tenant. A separate capped tenant validates admission control:
+//! `quota_enforcement_ok` is 1 only if inserts beyond its document quota
+//! are rejected in-protocol and the registry's rejection counter agrees.
+//!
+//! Emits `BENCH_tenant.json` with per-tenant read p50/p99 and the
+//! quota-rejection count.
+//!
+//! ```text
+//! cargo run --release -p rambo-bench --bin tenant_serve -- \
+//!     --tenants 3 --docs 150 --mean-terms 120 --queries 400
+//! ```
+
+use rambo_bench::{absent_term, archive_with_mean_terms, require_nonzero, Args, JsonReport};
+use rambo_core::{QueryContext, QueryMode, Rambo, RamboParams};
+use rambo_server::{serve_tenant_tcp, TenantQuotas, TenantRegistry, TenantServeOptions};
+use rambo_text::{CorpusParams, ZipfCorpus};
+use rambo_workloads::stats::percentile;
+use rambo_workloads::TestClient;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// One tenant's workload: named documents with u64 term lists.
+struct Workload {
+    tenant: String,
+    docs: Vec<(String, Vec<u64>)>,
+}
+
+/// Parse the doc names out of a RESP array reply.
+fn array_docs(reply: &[u8]) -> Vec<String> {
+    let text = std::str::from_utf8(reply).expect("ascii reply");
+    let mut lines = text.split("\r\n");
+    let header = lines.next().expect("header");
+    assert!(header.starts_with('*'), "expected array, got {text:?}");
+    let n: usize = header[1..].parse().expect("count");
+    (0..n)
+        .map(|_| {
+            let len = lines.next().expect("bulk header");
+            assert!(len.starts_with('$'), "expected bulk, got {text:?}");
+            lines.next().expect("bulk body").to_string()
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let tenants = args.get_usize("tenants", 3);
+    let docs = args.get_usize("docs", 150);
+    let mean_terms = args.get_usize("mean-terms", 120);
+    let queries = args.get_usize("queries", 400);
+    let seed = args.get_u64("seed", 42);
+    require_nonzero(
+        "tenant_serve",
+        &[
+            ("--tenants", tenants),
+            ("--docs", docs),
+            ("--mean-terms", mean_terms),
+            ("--queries", queries),
+        ],
+    );
+
+    let b = ((docs as f64).sqrt() * 3.0).round().max(4.0) as u64;
+    let per_bucket = ((docs as f64 / b as f64) * mean_terms as f64 * 1.2).ceil() as usize;
+    let params = RamboParams::flat(
+        b,
+        3,
+        rambo_bloom::params::optimal_m(per_bucket.max(64), 0.01),
+        2,
+        seed,
+    );
+    eprintln!("tenant_serve: tenants={tenants} docs={docs}/tenant B={b} queries={queries}/tenant");
+
+    // Per-tenant corpora: tenant 0 is a Zipf text corpus (heavy term reuse
+    // across documents — the many-sets workload of the paper's §3.3), the
+    // rest synthetic archives with per-doc private terms.
+    let workloads: Vec<Workload> = (0..tenants)
+        .map(|t| {
+            let tenant = format!("tenant-{t}");
+            let mut docs = if t == 0 {
+                let corpus = ZipfCorpus::generate(&CorpusParams {
+                    docs,
+                    vocab: 4000,
+                    exponent: 1.07,
+                    mean_terms,
+                    seed: seed ^ 0x21F0,
+                });
+                corpus
+                    .docs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, d)| (format!("t0-{i}"), d.terms))
+                    .collect()
+            } else {
+                archive_with_mean_terms(docs, mean_terms, seed.wrapping_add(t as u64))
+                    .docs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (_, terms))| (format!("t{t}-{i}"), terms))
+                    .collect::<Vec<_>>()
+            };
+            // The wire protocol (sensibly) refuses term-less inserts.
+            for (i, (_, terms)) in docs.iter_mut().enumerate() {
+                if terms.is_empty() {
+                    terms.push(0x0DD_BA11 ^ (i as u64) << 8);
+                }
+            }
+            Workload { tenant, docs }
+        })
+        .collect();
+
+    let registry = TenantRegistry::new(params, TenantQuotas::default()).expect("registry params");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let stop = AtomicBool::new(false);
+
+    let mut per_tenant_lat: Vec<Vec<f64>> = Vec::new();
+    let mut insert_elapsed_s = 0.0f64;
+    let mut parity_ok = true;
+    let mut quota_ok = true;
+    let mut wire_rejections = 0u64;
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            serve_tenant_tcp(
+                &registry,
+                listener,
+                None,
+                &stop,
+                &TenantServeOptions::default(),
+            )
+        });
+
+        // Load + measure phase: one wire client per tenant, concurrently.
+        let t0 = Instant::now();
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                s.spawn(move || {
+                    let mut c = TestClient::connect(addr).expect("dial");
+                    c.send_resp(&[b"R.CREATE", w.tenant.as_bytes(), b"fpr=0.01"])
+                        .expect("create");
+                    assert_eq!(c.read_resp_reply().expect("create reply"), b"+OK\r\n");
+                    for (i, (name, terms)) in w.docs.iter().enumerate() {
+                        let term_strs: Vec<String> = terms.iter().map(u64::to_string).collect();
+                        let mut cmd: Vec<&[u8]> =
+                            vec![b"R.INSERTDOC", w.tenant.as_bytes(), name.as_bytes()];
+                        cmd.extend(term_strs.iter().map(String::as_bytes));
+                        c.send_resp(&cmd).expect("insert");
+                        assert_eq!(
+                            c.read_resp_reply().expect("insert reply"),
+                            format!(":{i}\r\n").into_bytes(),
+                            "{}: insert ids must be dense",
+                            w.tenant
+                        );
+                    }
+                    // Timed probes: 3/4 planted terms, 1/4 absent.
+                    let mut lat_us = Vec::with_capacity(queries);
+                    for q in 0..queries {
+                        let term = if q % 4 == 3 {
+                            absent_term(q)
+                        } else {
+                            let ts = &w.docs[q % w.docs.len()].1;
+                            ts[q % ts.len()]
+                        };
+                        let term = term.to_string();
+                        let t = Instant::now();
+                        c.send_resp(&[b"R.QUERYSEQ", w.tenant.as_bytes(), b"1.0", term.as_bytes()])
+                            .expect("query");
+                        let _ = c.read_resp_reply().expect("query reply");
+                        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat_us
+                })
+            })
+            .collect();
+        per_tenant_lat = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        insert_elapsed_s = t0.elapsed().as_secs_f64();
+
+        // Quota phase: a capped tenant must reject every insert beyond its
+        // document quota, in-protocol.
+        {
+            let cap = (docs / 4).max(1);
+            let mut c = TestClient::connect(addr).expect("dial");
+            c.send_resp(&[b"R.CREATE", b"capped", format!("docs={cap}").as_bytes()])
+                .expect("create capped");
+            assert_eq!(c.read_resp_reply().expect("reply"), b"+OK\r\n");
+            for i in 0..docs {
+                let name = format!("c-{i}");
+                let term = (0xCAFE_0000 + i as u64).to_string();
+                c.send_resp(&[b"R.INSERTDOC", b"capped", name.as_bytes(), term.as_bytes()])
+                    .expect("insert");
+                let reply = c.read_resp_reply().expect("reply");
+                if reply.starts_with(b"-ERR quota exceeded") {
+                    wire_rejections += 1;
+                } else if !reply.starts_with(b":") {
+                    eprintln!("QUOTA FAILURE: unexpected reply {reply:?}");
+                    quota_ok = false;
+                }
+            }
+            let expect = (docs - cap) as u64;
+            let counted = registry
+                .stats("capped")
+                .expect("capped stats")
+                .quota_rejections;
+            if wire_rejections != expect || counted != expect {
+                eprintln!(
+                    "QUOTA FAILURE: wire {wire_rejections}, counter {counted}, expect {expect}"
+                );
+                quota_ok = false;
+            }
+        }
+
+        // Parity phase: every tenant's probe battery over the wire vs an
+        // isolated oracle built from that tenant's documents alone.
+        let mut ctx = QueryContext::new();
+        for w in &workloads {
+            let mut oracle = Rambo::new(params).expect("oracle params");
+            for (name, terms) in &w.docs {
+                oracle
+                    .insert_document(name, terms.iter().copied())
+                    .expect("oracle insert");
+            }
+            let mut c = TestClient::connect(addr).expect("dial");
+            for q in 0..queries.min(200) {
+                let (theta, theta_s): (f64, &[u8]) = if q % 3 == 0 {
+                    (0.5, b"0.5")
+                } else {
+                    (1.0, b"1.0")
+                };
+                let ts1 = &w.docs[q % w.docs.len()].1;
+                let t1 = ts1[q % ts1.len()];
+                let t2 = w.docs[(q * 7 + 1) % w.docs.len()].1[0];
+                let (s1, s2) = (t1.to_string(), t2.to_string());
+                c.send_resp(&[
+                    b"R.QUERYSEQ",
+                    w.tenant.as_bytes(),
+                    theta_s,
+                    s1.as_bytes(),
+                    s2.as_bytes(),
+                ])
+                .expect("parity query");
+                let got = array_docs(&c.read_resp_reply().expect("parity reply"));
+                let ids = oracle.query_sequence_theta(&[t1, t2], theta, QueryMode::Full, &mut ctx);
+                let want: Vec<String> = ids.iter().map(|&d| w.docs[d as usize].0.clone()).collect();
+                if got != want {
+                    eprintln!(
+                        "PARITY FAILURE: {} q{q} theta {theta}: wire {got:?} oracle {want:?}",
+                        w.tenant
+                    );
+                    parity_ok = false;
+                }
+            }
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        server.join().unwrap().expect("server");
+    });
+    assert!(parity_ok, "a tenant diverged from its isolated oracle");
+    assert!(quota_ok, "quota enforcement failed");
+
+    let all: Vec<f64> = per_tenant_lat.iter().flatten().copied().collect();
+    let total_docs = (tenants * docs) as f64;
+    eprintln!(
+        "load: {:.0} docs/s across {tenants} tenants; read p50 {:.0}µs p99 {:.0}µs; \
+         {wire_rejections} quota rejections; parity OK",
+        total_docs / insert_elapsed_s,
+        percentile(&all, 50.0),
+        percentile(&all, 99.0),
+    );
+
+    let mut report = JsonReport::new("tenant_serve");
+    report
+        .int("tenants", tenants as u64)
+        .int("docs_per_tenant", docs as u64)
+        .int("queries_per_tenant", queries as u64)
+        .int("buckets", b)
+        .num("load_s", insert_elapsed_s)
+        .num("load_docs_per_s", total_docs / insert_elapsed_s)
+        .num("read_p50_us", percentile(&all, 50.0))
+        .num("read_p99_us", percentile(&all, 99.0))
+        .int("quota_rejections", wire_rejections)
+        .num("quota_enforcement_ok", f64::from(u8::from(quota_ok)))
+        .num("tenant_isolation_parity_ok", f64::from(u8::from(parity_ok)));
+    for (t, lat) in per_tenant_lat.iter().enumerate() {
+        report.num(&format!("tenant{t}_read_p50_us"), percentile(lat, 50.0));
+        report.num(&format!("tenant{t}_read_p99_us"), percentile(lat, 99.0));
+    }
+    report.finish("BENCH_tenant.json");
+}

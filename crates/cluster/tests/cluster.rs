@@ -9,8 +9,8 @@ use rambo_cluster::{
 };
 use rambo_core::{QueryMode, RamboParams};
 use rambo_server::{ServerConfig, TcpClient};
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use rambo_workloads::TestClient;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -230,16 +230,9 @@ fn front_speaks_the_standard_protocol_and_the_degraded_extension() {
         assert!(saw_degraded, "the dead shard must surface in degraded");
 
         // A malformed frame gets a bad-request answer, then the stream ends.
-        let mut raw = TcpStream::connect(front_addr).expect("raw dial");
-        raw.write_all(&5u32.to_le_bytes()).expect("len");
-        raw.write_all(&[0xFF, 1, 2, 3, 4]).expect("garbage");
-        let mut stream = raw;
-        stream
-            .set_read_timeout(Some(Duration::from_secs(5)))
-            .expect("timeout");
-        let payload = rambo_cluster::wire::read_frame(&mut stream)
-            .expect("read")
-            .expect("frame");
+        let mut raw = TestClient::connect(front_addr).expect("raw dial");
+        raw.send_framed(&[0xFF, 1, 2, 3, 4]).expect("garbage");
+        let payload = raw.read_frame(16 << 20).expect("frame");
         assert_eq!(payload[0], rambo_cluster::wire::STATUS_BAD_REQUEST);
 
         stop.store(true, Ordering::Relaxed);

@@ -584,6 +584,60 @@ impl GenerationalIndex {
         }
     }
 
+    /// θ-fraction sequence query across memtable + generations: documents
+    /// that (appear to) contain at least `theta · terms.len()` of the query
+    /// terms. The per-term counting loop is exactly
+    /// [`Rambo::query_sequence_theta`]'s, but each per-term membership test
+    /// runs through [`GenerationalIndex::query_terms_with`] — which is
+    /// bit-identical to the monolithic rebuild — so the θ answer is
+    /// bit-identical too. This is the serving path behind the multi-tenant
+    /// `R.QUERYSEQ` verb.
+    ///
+    /// # Panics
+    /// Panics unless `0 < theta ≤ 1`.
+    #[must_use]
+    pub fn query_sequence_theta_with(
+        &self,
+        terms: &[u64],
+        theta: f64,
+        mode: QueryMode,
+        ctx: &mut QueryContext,
+    ) -> Vec<DocId> {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        let k = self.num_documents();
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let needed = ((theta * terms.len() as f64).ceil() as usize).max(1);
+        // The per-term results land in `ctx`; the counts vector must not be
+        // clobbered by the inner queries, so keep it local.
+        let mut counts = vec![0u32; k];
+        let mut max_count = 0usize;
+        for (done, &term) in terms.iter().enumerate() {
+            let hits = self.query_terms_with(&[term], mode, ctx);
+            for d in hits {
+                let c = &mut counts[d as usize];
+                *c += 1;
+                max_count = max_count.max(*c as usize);
+            }
+            let remaining = terms.len() - done - 1;
+            if remaining == 0 {
+                break;
+            }
+            // Even if every remaining term hit every document, nobody new
+            // can reach the threshold once the deficit is fatal.
+            if max_count + remaining < needed {
+                return Vec::new();
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c as usize >= needed)
+            .map(|(d, _)| d as DocId)
+            .collect()
+    }
+
     /// Rebuild a monolithic [`Rambo`] over every indexed document (global id
     /// order), by re-registering names and OR-folding all component
     /// matrices. Equals a from-scratch build over the same documents in the

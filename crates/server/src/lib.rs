@@ -86,18 +86,24 @@
 mod cache;
 mod catalog;
 mod live;
+mod resp;
 mod scheduler;
 mod server;
 mod stats;
 mod tcp;
+mod tenant;
 
 pub use cache::{CacheStats, ResultCache};
 pub use catalog::{Catalog, CatalogBuilder, CatalogError, TierInfo, DEFAULT_CACHE_BYTES};
 pub use live::{serve_live_tcp, LiveHandle, LiveServer, LiveStats};
 pub use rambo_core::kernel::{Backend as KernelBackend, Kernel};
+pub use resp::{serve_tenant_tcp, term_of, TenantServeOptions};
 pub use server::{
     PendingReply, QueryOptions, QueryReply, SchedulerMode, Server, ServerConfig,
     ServerConfigBuilder, ServerError, ServerHandle,
 };
 pub use stats::{ServerStats, SlowQuery, TierStats};
 pub use tcp::{serve_tcp, serve_tcp_with, ServeOptions, TcpClient, TcpClientError};
+pub use tenant::{
+    TenantError, TenantKind, TenantOptions, TenantQuotas, TenantRegistry, TenantStats,
+};

@@ -27,9 +27,9 @@
 use crate::cache::ResultCache;
 use crate::server::ServerConfig;
 use crate::tcp::{
-    encode_mutate_ok, encode_mutate_rejected, encode_response, parse_mutate, parse_request, Conn,
-    PendingFrame, ServeOptions, MAX_FRAME_BYTES, MAX_PIPELINED, OPCODE_HELLO, OPCODE_MUTATE,
-    OPCODE_STATS, REACTOR_BUSY_SLEEP, REACTOR_IDLE_SLEEP, READ_CHUNK, STATUS_BAD_REQUEST,
+    conn_flush, conn_read, encode_mutate_ok, encode_mutate_rejected, encode_response, parse_mutate,
+    parse_request, Conn, PendingFrame, ServeOptions, MAX_FRAME_BYTES, MAX_PIPELINED, OPCODE_HELLO,
+    OPCODE_MUTATE, OPCODE_STATS, REACTOR_BUSY_SLEEP, REACTOR_IDLE_SLEEP, STATUS_BAD_REQUEST,
     STATUS_OK,
 };
 use rambo_core::{
@@ -37,7 +37,7 @@ use rambo_core::{
 };
 use rambo_workloads::stats::LatencyHistogram;
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
@@ -502,38 +502,9 @@ pub fn serve_live_tcp(
 /// One reactor pass over a live-server connection. Mirrors the catalog
 /// front's `pump`, minus reply polling: live dispatch answers immediately.
 fn pump_live(conn: &mut Conn, handle: &LiveHandle<'_>, options: &ServeOptions) -> bool {
-    let mut progress = false;
-
-    while !conn.read_closed
-        && !conn.closing
-        && !conn.dead
-        && conn.pending.len() < MAX_PIPELINED
-        && conn.inbuf.len() < MAX_FRAME_BYTES + 4
-    {
-        let start = conn.inbuf.len();
-        conn.inbuf.resize(start + READ_CHUNK, 0);
-        match conn.stream.read(&mut conn.inbuf[start..]) {
-            Ok(0) => {
-                conn.inbuf.truncate(start);
-                conn.read_closed = true;
-            }
-            Ok(n) => {
-                conn.inbuf.truncate(start + n);
-                progress = true;
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.inbuf.truncate(start),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-                conn.inbuf.truncate(start);
-                continue;
-            }
-            Err(_) => {
-                conn.inbuf.truncate(start);
-                conn.dead = true;
-                return progress;
-            }
-        }
-        break;
+    let mut progress = conn_read(conn);
+    if conn.dead {
+        return progress;
     }
 
     let mut consumed = 0;
@@ -574,34 +545,7 @@ fn pump_live(conn: &mut Conn, handle: &LiveHandle<'_>, options: &ServeOptions) -
     }
     conn.pending = pending;
 
-    while conn.sent < conn.outbuf.len() {
-        match conn.stream.write(&conn.outbuf[conn.sent..]) {
-            Ok(0) => {
-                conn.dead = true;
-                return progress;
-            }
-            Ok(n) => {
-                conn.sent += n;
-                progress = true;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                conn.dead = true;
-                return progress;
-            }
-        }
-    }
-    if conn.sent == conn.outbuf.len() && conn.sent > 0 {
-        conn.outbuf.clear();
-        conn.sent = 0;
-    }
-
-    let flushed = conn.pending.is_empty() && conn.sent == conn.outbuf.len();
-    if flushed && (conn.closing || conn.read_closed) {
-        conn.dead = true;
-    }
-    progress
+    progress | conn_flush(conn)
 }
 
 /// Dispatch one complete frame against the live handle, returning the

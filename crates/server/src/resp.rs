@@ -1,0 +1,963 @@
+//! RESP2-compatible text protocol front over a [`TenantRegistry`] — the
+//! multi-tenant command surface, served alongside the binary frames by one
+//! poll-loop reactor.
+//!
+//! ## Command surface
+//!
+//! RAMBO verbs (one named index per tenant):
+//!
+//! ```text
+//! R.CREATE    <name> [fpr=<budget>] [docs=<n>] [bytes=<n>] [tiers=<n>]   → +OK
+//! R.INSERTDOC <name> <doc> <term...>                                    → :id
+//! R.QUERYSEQ  <name> <theta> <term...>                                  → *N doc names
+//! R.DROP      <name>                                                    → :1 / :0
+//! R.STATS     [<name>]                                                  → $text
+//! R.LIST                                                                → *N tenant names
+//! ```
+//!
+//! `BF.*` compatibility (SpinelDB/RedisBloom shape), mapped onto a
+//! degenerate single-repetition index where every item is its own
+//! single-term document — classic Bloom-filter membership semantics (no
+//! false negatives, tunable false positives) under the same engine:
+//!
+//! ```text
+//! BF.RESERVE <key> <error_rate> <capacity>   → +OK
+//! BF.ADD     <key> <item>                    → :1 new / :0 already present
+//! BF.MADD    <key> <item...>                 → *N of :1 / :0
+//! BF.EXISTS  <key> <item>                    → :1 / :0
+//! ```
+//!
+//! A `<term>` token that parses as a decimal `u64` is taken as a raw term
+//! hash (the binary front's currency); any other token is hashed with
+//! [`term_of`] — the same convention the text-corpus pipeline uses, so a
+//! corpus can be loaded over the wire and queried by word.
+//!
+//! ## Framing
+//!
+//! Both RESP2 framings are accepted on every connection: arrays of bulk
+//! strings (`*2\r\n$4\r\nPING\r\n…`, what `redis-cli` sends) and
+//! space-separated inline commands (`R.LIST\r\n`, what `nc` sends).
+//! Replies use simple strings (`+OK`), errors (`-ERR …`), integers
+//! (`:1`), bulk strings and arrays. Errors follow Redis taxonomy: unknown
+//! command, wrong arity, invalid argument, and the registry's own
+//! admission errors (`quota exceeded`, duplicate/unknown tenant) are all
+//! answered **in-protocol** with the connection left open; only a framing
+//! violation (bad type byte, oversized or malformed length) earns an
+//! error reply followed by a close, because the stream can no longer be
+//! trusted.
+//!
+//! ## Reactor
+//!
+//! [`serve_tenant_tcp`] multiplexes the RESP listener and (optionally) a
+//! second listener speaking the existing binary frame protocol — same
+//! non-blocking single-thread readiness design as [`crate::serve_tcp`],
+//! sharing its connection plumbing. Binary `QUERY`/`MUTATE` frames carry
+//! no tenant name, so they are routed to the configured
+//! [`TenantServeOptions::binary_tenant`]; `STATS` dumps the registry
+//! summary. Poll ticks with no I/O run one step of generation-merge
+//! maintenance across the registry instead of napping, so background index
+//! upkeep rides the serving thread's idle gaps.
+
+use crate::tcp::{
+    conn_flush, conn_read, encode_mutate_ok, encode_mutate_rejected, encode_response, parse_mutate,
+    parse_request, Conn, MAX_FRAME_BYTES, OPCODE_HELLO, OPCODE_MUTATE, OPCODE_STATS,
+    REACTOR_BUSY_SLEEP, REACTOR_IDLE_SLEEP, STATUS_BAD_REQUEST, STATUS_OK,
+};
+use crate::tenant::{TenantKind, TenantOptions, TenantRegistry};
+use rambo_core::{RamboError, RamboParams};
+use rambo_hash::murmur3_x64_64;
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Most array elements accepted in one command.
+const MAX_ARGS: usize = 1 << 10;
+/// Largest accepted bulk-string payload (1 MiB — a document insert with
+/// tens of thousands of terms still fits in many bulks).
+const MAX_BULK: usize = 1 << 20;
+/// Longest accepted inline line before the parser gives up waiting for a
+/// newline.
+const MAX_INLINE: usize = 64 << 10;
+
+/// Implicit-create defaults for `BF.ADD` on a missing key, matching the
+/// conventional RedisBloom reserve defaults.
+const BF_DEFAULT_CAPACITY: u64 = 100;
+const BF_DEFAULT_FPR: f64 = 0.01;
+/// Seed for the degenerate Bloom tenants (fixed: `BF.*` answers must not
+/// depend on the registry's base geometry).
+const BF_SEED: u64 = 0xB10F;
+
+/// Hash a textual term token the way the text-corpus pipeline does, so
+/// wire-inserted documents and corpus-built oracles agree on term hashes.
+#[must_use]
+pub fn term_of(word: &str) -> u64 {
+    murmur3_x64_64(word.as_bytes(), 1)
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+/// Outcome of one incremental parse attempt against the head of a
+/// connection's input buffer.
+pub(crate) enum RespParse {
+    /// Not enough bytes yet; read more and retry with the same prefix.
+    Incomplete,
+    /// One complete command (`args` possibly empty for a blank inline
+    /// line); `consumed` bytes are done with.
+    Command { args: Vec<Vec<u8>>, consumed: usize },
+    /// The stream violated the framing and cannot be resynchronized; the
+    /// front answers `-ERR message` and closes.
+    Protocol { message: String },
+}
+
+/// Incremental RESP2 request parser: arrays of bulk strings, or inline
+/// commands split on spaces/tabs. Never consumes a partial command.
+pub(crate) fn parse_resp(buf: &[u8]) -> RespParse {
+    let Some(&first) = buf.first() else {
+        return RespParse::Incomplete;
+    };
+    if first == b'*' {
+        return parse_multibulk(buf);
+    }
+    parse_inline(buf)
+}
+
+/// Find the next CRLF-terminated line starting at `pos`: returns the line
+/// content (CRLF excluded) and the index just past the CRLF.
+fn crlf_line(buf: &[u8], pos: usize) -> Result<Option<(&[u8], usize)>, String> {
+    let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+        return Ok(None);
+    };
+    let nl = pos + nl;
+    if nl == pos || buf[nl - 1] != b'\r' {
+        return Err("Protocol error: expected CRLF line terminator".into());
+    }
+    Ok(Some((&buf[pos..nl - 1], nl + 1)))
+}
+
+/// Strict non-negative decimal parse for protocol length fields.
+fn parse_len(digits: &[u8]) -> Option<usize> {
+    if digits.is_empty() || digits.len() > 10 || !digits.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
+fn parse_multibulk(buf: &[u8]) -> RespParse {
+    let header = match crlf_line(buf, 1) {
+        Err(message) => return RespParse::Protocol { message },
+        Ok(None) if buf.len() > MAX_INLINE => {
+            return RespParse::Protocol {
+                message: "Protocol error: too big mbulk count string".into(),
+            }
+        }
+        Ok(None) => return RespParse::Incomplete,
+        Ok(Some(line)) => line,
+    };
+    let (count_digits, mut pos) = header;
+    // `*-1` / `*0` are tolerated as no-ops (some clients send them as
+    // keepalives); anything else non-numeric is a framing violation.
+    if count_digits == b"-1" || count_digits == b"0" {
+        return RespParse::Command {
+            args: Vec::new(),
+            consumed: pos,
+        };
+    }
+    let count = match parse_len(count_digits) {
+        Some(n) if (1..=MAX_ARGS).contains(&n) => n,
+        _ => {
+            return RespParse::Protocol {
+                message: "Protocol error: invalid multibulk length".into(),
+            }
+        }
+    };
+    let mut args = Vec::with_capacity(count);
+    for _ in 0..count {
+        let Some(&marker) = buf.get(pos) else {
+            return RespParse::Incomplete;
+        };
+        if marker != b'$' {
+            return RespParse::Protocol {
+                message: format!(
+                    "Protocol error: expected '$', got '{}'",
+                    char::from(marker.clamp(0x20, 0x7E))
+                ),
+            };
+        }
+        let (len_digits, body) = match crlf_line(buf, pos + 1) {
+            Err(message) => return RespParse::Protocol { message },
+            Ok(None) if buf.len() - pos > 32 => {
+                return RespParse::Protocol {
+                    message: "Protocol error: invalid bulk length".into(),
+                }
+            }
+            Ok(None) => return RespParse::Incomplete,
+            Ok(Some(line)) => line,
+        };
+        let len = match parse_len(len_digits) {
+            Some(n) if n <= MAX_BULK => n,
+            _ => {
+                return RespParse::Protocol {
+                    message: "Protocol error: invalid bulk length".into(),
+                }
+            }
+        };
+        if buf.len() < body + len + 2 {
+            return RespParse::Incomplete;
+        }
+        if &buf[body + len..body + len + 2] != b"\r\n" {
+            return RespParse::Protocol {
+                message: "Protocol error: bulk payload not CRLF terminated".into(),
+            };
+        }
+        args.push(buf[body..body + len].to_vec());
+        pos = body + len + 2;
+    }
+    RespParse::Command {
+        args,
+        consumed: pos,
+    }
+}
+
+fn parse_inline(buf: &[u8]) -> RespParse {
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        if buf.len() > MAX_INLINE {
+            return RespParse::Protocol {
+                message: "Protocol error: too big inline request".into(),
+            };
+        }
+        return RespParse::Incomplete;
+    };
+    let line = &buf[..nl];
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    let args = line
+        .split(|&b| b == b' ' || b == b'\t')
+        .filter(|tok| !tok.is_empty())
+        .map(<[u8]>::to_vec)
+        .collect();
+    RespParse::Command {
+        args,
+        consumed: nl + 1,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoders.
+// ---------------------------------------------------------------------
+
+pub(crate) fn resp_simple(s: &str) -> Vec<u8> {
+    format!("+{s}\r\n").into_bytes()
+}
+
+pub(crate) fn resp_error(message: &str) -> Vec<u8> {
+    format!("-ERR {message}\r\n").into_bytes()
+}
+
+pub(crate) fn resp_integer(n: i64) -> Vec<u8> {
+    format!(":{n}\r\n").into_bytes()
+}
+
+pub(crate) fn resp_bulk(payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("${}\r\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Array whose elements are already-encoded RESP values.
+pub(crate) fn resp_array(elements: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = format!("*{}\r\n", elements.len()).into_bytes();
+    for e in elements {
+        out.extend_from_slice(e);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Command execution.
+// ---------------------------------------------------------------------
+
+fn lossy(arg: &[u8]) -> String {
+    String::from_utf8_lossy(arg).into_owned()
+}
+
+fn wrong_arity(canonical: &str) -> Vec<u8> {
+    resp_error(&format!("wrong number of arguments for '{canonical}'"))
+}
+
+/// A term token: a decimal `u64` is a raw hash, anything else is a word.
+fn parse_term(tok: &[u8]) -> u64 {
+    let s = String::from_utf8_lossy(tok);
+    s.parse::<u64>().unwrap_or_else(|_| term_of(&s))
+}
+
+/// Degenerate single-repetition geometry for a `BF.*` tenant: 2 buckets
+/// (the engine's minimum — items partition across them by hash, which
+/// preserves no-false-negative membership), classic Bloom sizing per
+/// bucket, `k = round(−ln p / ln 2)` probes.
+fn bloom_params(capacity: u64, fpr: f64) -> RamboParams {
+    let ln2 = std::f64::consts::LN_2;
+    let bits_per_key = -fpr.ln() / (ln2 * ln2);
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let per_bucket =
+        (((capacity as f64) / 2.0 * bits_per_key).ceil().max(64.0) as usize).next_power_of_two();
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let eta = (-fpr.ln() / ln2).round().clamp(1.0, 30.0) as u32;
+    RamboParams::flat(2, 1, per_bucket, eta, BF_SEED)
+}
+
+fn bloom_options(capacity: u64, fpr: f64) -> TenantOptions {
+    TenantOptions {
+        fpr,
+        params: Some(bloom_params(capacity, fpr)),
+        max_docs: Some(usize::try_from(capacity).unwrap_or(usize::MAX)),
+        kind: TenantKind::Bloom,
+        ..TenantOptions::default()
+    }
+}
+
+/// Execute one parsed command against the registry, returning the encoded
+/// reply. Always answers in-protocol — the caller never closes over an
+/// executed command, only over framing violations.
+pub(crate) fn execute(registry: &TenantRegistry, args: &[Vec<u8>]) -> Vec<u8> {
+    let cmd = lossy(&args[0]).to_ascii_uppercase();
+    match cmd.as_str() {
+        "PING" => match args.len() {
+            1 => resp_simple("PONG"),
+            2 => resp_bulk(&args[1]),
+            _ => wrong_arity("ping"),
+        },
+        "R.CREATE" => cmd_create(registry, args),
+        "R.INSERTDOC" => cmd_insertdoc(registry, args),
+        "R.QUERYSEQ" => cmd_queryseq(registry, args),
+        "R.DROP" => match args.len() {
+            2 => resp_integer(i64::from(registry.drop_tenant(&lossy(&args[1])))),
+            _ => wrong_arity("r.drop"),
+        },
+        "R.STATS" => match args.len() {
+            1 => resp_bulk(registry.summary().as_bytes()),
+            2 => match registry.stats(&lossy(&args[1])) {
+                Ok(stats) => resp_bulk(stats.to_string().as_bytes()),
+                Err(e) => resp_error(&e.to_string()),
+            },
+            _ => wrong_arity("r.stats"),
+        },
+        "R.LIST" => match args.len() {
+            1 => {
+                let names: Vec<Vec<u8>> = registry
+                    .list()
+                    .into_iter()
+                    .map(|t| resp_bulk(t.name.as_bytes()))
+                    .collect();
+                resp_array(&names)
+            }
+            _ => wrong_arity("r.list"),
+        },
+        "BF.RESERVE" => cmd_bf_reserve(registry, args),
+        "BF.ADD" => match args.len() {
+            3 => bf_add_one(registry, &lossy(&args[1]), &args[2]),
+            _ => wrong_arity("bf.add"),
+        },
+        "BF.MADD" => {
+            if args.len() < 3 {
+                return wrong_arity("bf.madd");
+            }
+            let key = lossy(&args[1]);
+            let replies: Vec<Vec<u8>> = args[2..]
+                .iter()
+                .map(|item| bf_add_one(registry, &key, item))
+                .collect();
+            resp_array(&replies)
+        }
+        "BF.EXISTS" => match args.len() {
+            3 => {
+                let key = lossy(&args[1]);
+                let term = parse_term(&args[2]);
+                match registry.query(&key, &[term], None) {
+                    Ok(docs) => resp_integer(i64::from(!docs.is_empty())),
+                    // A missing filter holds nothing.
+                    Err(_) => resp_integer(0),
+                }
+            }
+            _ => wrong_arity("bf.exists"),
+        },
+        _ => resp_error(&format!("unknown command '{}'", lossy(&args[0]))),
+    }
+}
+
+fn cmd_create(registry: &TenantRegistry, args: &[Vec<u8>]) -> Vec<u8> {
+    if args.len() < 2 {
+        return wrong_arity("r.create");
+    }
+    let name = lossy(&args[1]);
+    let mut opts = TenantOptions::default();
+    for tok in &args[2..] {
+        let tok = lossy(tok);
+        let (key, value) = match tok.split_once('=') {
+            Some(kv) => kv,
+            None => (tok.as_str(), ""),
+        };
+        match key.to_ascii_lowercase().as_str() {
+            "fpr" => match value.parse::<f64>() {
+                Ok(f) if f > 0.0 && f < 1.0 => opts.fpr = f,
+                _ => return resp_error(&format!("invalid FPR '{value}' (want 0 < fpr < 1)")),
+            },
+            "docs" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => opts.max_docs = Some(n),
+                _ => return resp_error(&format!("invalid value '{value}' for option 'docs'")),
+            },
+            "bytes" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => opts.max_bytes = Some(n),
+                _ => return resp_error(&format!("invalid value '{value}' for option 'bytes'")),
+            },
+            "tiers" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => opts.max_generations = Some(n),
+                _ => return resp_error(&format!("invalid value '{value}' for option 'tiers'")),
+            },
+            _ => return resp_error(&format!("unknown option '{key}' for 'r.create'")),
+        }
+    }
+    match registry.create(&name, opts) {
+        Ok(()) => resp_simple("OK"),
+        Err(e) => resp_error(&e.to_string()),
+    }
+}
+
+fn cmd_insertdoc(registry: &TenantRegistry, args: &[Vec<u8>]) -> Vec<u8> {
+    if args.len() < 4 {
+        return wrong_arity("r.insertdoc");
+    }
+    let name = lossy(&args[1]);
+    let doc = lossy(&args[2]);
+    let terms: Vec<u64> = args[3..].iter().map(|t| parse_term(t)).collect();
+    match registry.insert_document(&name, &doc, &terms) {
+        Ok(id) => resp_integer(i64::from(id)),
+        Err(e) => resp_error(&e.to_string()),
+    }
+}
+
+fn cmd_queryseq(registry: &TenantRegistry, args: &[Vec<u8>]) -> Vec<u8> {
+    if args.len() < 4 {
+        return wrong_arity("r.queryseq");
+    }
+    let name = lossy(&args[1]);
+    let theta_tok = lossy(&args[2]);
+    let theta = match theta_tok.parse::<f64>() {
+        Ok(t) if t > 0.0 && t <= 1.0 => t,
+        _ => {
+            return resp_error(&format!(
+                "invalid theta '{theta_tok}' (want 0 < theta <= 1)"
+            ))
+        }
+    };
+    let terms: Vec<u64> = args[3..].iter().map(|t| parse_term(t)).collect();
+    match registry.query_theta(&name, &terms, theta, None) {
+        Ok(docs) => match registry.resolve_names(&name, &docs) {
+            Ok(names) => {
+                let bulks: Vec<Vec<u8>> = names.iter().map(|n| resp_bulk(n.as_bytes())).collect();
+                resp_array(&bulks)
+            }
+            // The tenant vanished between query and resolve.
+            Err(e) => resp_error(&e.to_string()),
+        },
+        Err(e) => resp_error(&e.to_string()),
+    }
+}
+
+fn cmd_bf_reserve(registry: &TenantRegistry, args: &[Vec<u8>]) -> Vec<u8> {
+    if args.len() != 4 {
+        return wrong_arity("bf.reserve");
+    }
+    let key = lossy(&args[1]);
+    let fpr_tok = lossy(&args[2]);
+    let fpr = match fpr_tok.parse::<f64>() {
+        Ok(f) if f > 0.0 && f < 1.0 => f,
+        _ => return resp_error(&format!("invalid FPR '{fpr_tok}' (want 0 < fpr < 1)")),
+    };
+    let cap_tok = lossy(&args[3]);
+    let capacity = match cap_tok.parse::<u64>() {
+        Ok(n) if n > 0 => n,
+        _ => return resp_error(&format!("invalid capacity '{cap_tok}'")),
+    };
+    match registry.create(&key, bloom_options(capacity, fpr)) {
+        Ok(()) => resp_simple("OK"),
+        Err(e) => resp_error(&e.to_string()),
+    }
+}
+
+/// `BF.ADD` semantics for one item: implicit-create the filter, insert the
+/// item as its own single-term document; a duplicate answers `:0` (already
+/// present), admission failures answer in-protocol errors.
+fn bf_add_one(registry: &TenantRegistry, key: &str, item: &[u8]) -> Vec<u8> {
+    if !registry.contains(key) {
+        if let Err(e) = registry.create(key, bloom_options(BF_DEFAULT_CAPACITY, BF_DEFAULT_FPR)) {
+            // A concurrent create of the same key is fine; anything else
+            // (bad name, tenant cap) is the caller's answer.
+            if !matches!(e, crate::tenant::TenantError::DuplicateTenant(_)) {
+                return resp_error(&e.to_string());
+            }
+        }
+    }
+    let doc = lossy(item);
+    match registry.insert_document(key, &doc, &[parse_term(item)]) {
+        Ok(_) => resp_integer(1),
+        Err(crate::tenant::TenantError::Index(RamboError::DuplicateDocument(_))) => resp_integer(0),
+        Err(e) => resp_error(&e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor.
+// ---------------------------------------------------------------------
+
+/// Options for [`serve_tenant_tcp`].
+#[derive(Debug, Clone, Default)]
+pub struct TenantServeOptions {
+    /// `HELLO` manifest for the binary front (see
+    /// [`crate::ServeOptions::manifest`]); `None` answers with the
+    /// bad-request status, connection kept open.
+    pub manifest: Option<Vec<u8>>,
+    /// Tenant served to binary `QUERY`/`MUTATE` frames, which carry no
+    /// tenant name. `None` (or a name that is not live) answers queries
+    /// with the bad-request status and mutates with an in-protocol
+    /// rejection, both keeping the connection open.
+    pub binary_tenant: Option<String>,
+}
+
+/// Which protocol a connection speaks, fixed by the listener it arrived on.
+enum Front {
+    Resp,
+    Binary,
+}
+
+/// Serve a [`TenantRegistry`] until `stop` is set: the RESP front on
+/// `resp_listener` and, when given, the existing binary frame protocol on
+/// `binary_listener`, both multiplexed by one non-blocking readiness
+/// reactor on the calling thread. Idle poll ticks run one step of
+/// generation-merge maintenance across the registry instead of sleeping.
+///
+/// # Errors
+/// Propagates listener configuration errors and fatal accept failures (which
+/// also raise `stop`); per-connection I/O errors only end that connection.
+pub fn serve_tenant_tcp(
+    registry: &TenantRegistry,
+    resp_listener: TcpListener,
+    binary_listener: Option<TcpListener>,
+    stop: &AtomicBool,
+    options: &TenantServeOptions,
+) -> io::Result<()> {
+    resp_listener.set_nonblocking(true)?;
+    if let Some(l) = &binary_listener {
+        l.set_nonblocking(true)?;
+    }
+    let mut conns: Vec<(Front, Conn)> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let mut progress = false;
+        match accept_into(&resp_listener, &mut conns, Front::Resp) {
+            Ok(p) => progress |= p,
+            Err(e) => {
+                stop.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        if let Some(l) = &binary_listener {
+            match accept_into(l, &mut conns, Front::Binary) {
+                Ok(p) => progress |= p,
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        for (front, conn) in &mut conns {
+            progress |= match front {
+                Front::Resp => pump_resp(conn, registry),
+                Front::Binary => pump_binary(conn, registry, options),
+            };
+        }
+        conns.retain(|(_, c)| !c.dead);
+        if !progress {
+            // Nothing on the wire: spend the tick on index upkeep. A merge
+            // counts as progress, so a busy registry keeps the loop hot.
+            if registry.maintain_once() {
+                continue;
+            }
+            let inflight = conns.iter().any(|(_, c)| !c.outbuf.is_empty());
+            std::thread::sleep(if inflight {
+                REACTOR_BUSY_SLEEP
+            } else {
+                REACTOR_IDLE_SLEEP
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Drain one listener's accept backlog into the connection list.
+fn accept_into(
+    listener: &TcpListener,
+    conns: &mut Vec<(Front, Conn)>,
+    front: Front,
+) -> io::Result<bool> {
+    let mut progress = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Ok(conn) = Conn::new(stream) {
+                    conns.push((
+                        match front {
+                            Front::Resp => Front::Resp,
+                            Front::Binary => Front::Binary,
+                        },
+                        conn,
+                    ));
+                    progress = true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(progress),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One reactor pass over a RESP connection: commands are executed the
+/// moment they decode (registry calls are lock-bounded), replies flow in
+/// request order by construction.
+fn pump_resp(conn: &mut Conn, registry: &TenantRegistry) -> bool {
+    let mut progress = conn_read(conn);
+    if conn.dead {
+        return progress;
+    }
+    let mut consumed = 0;
+    while !conn.closing {
+        match parse_resp(&conn.inbuf[consumed..]) {
+            RespParse::Incomplete => {
+                // A "command" that can never fit the input ceiling will sit
+                // incomplete forever; evict it as a framing violation.
+                if conn.inbuf.len() - consumed >= MAX_FRAME_BYTES {
+                    conn.outbuf
+                        .extend_from_slice(&resp_error("Protocol error: request too large"));
+                    conn.closing = true;
+                    progress = true;
+                }
+                break;
+            }
+            RespParse::Protocol { message } => {
+                conn.outbuf.extend_from_slice(&resp_error(&message));
+                conn.closing = true;
+                progress = true;
+            }
+            RespParse::Command { args, consumed: n } => {
+                consumed += n;
+                if !args.is_empty() {
+                    let reply = execute(registry, &args);
+                    conn.outbuf.extend_from_slice(&reply);
+                }
+                progress = true;
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+    progress | conn_flush(conn)
+}
+
+/// One reactor pass over a binary-front connection: same framing as the
+/// live server's front, dispatched against the registry's
+/// [`TenantServeOptions::binary_tenant`].
+fn pump_binary(conn: &mut Conn, registry: &TenantRegistry, options: &TenantServeOptions) -> bool {
+    let mut progress = conn_read(conn);
+    if conn.dead {
+        return progress;
+    }
+    let mut consumed = 0;
+    while !conn.closing {
+        let avail = &conn.inbuf[consumed..];
+        if avail.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            conn.outbuf
+                .extend_from_slice(&encode_response(STATUS_BAD_REQUEST, 0, &[]));
+            conn.closing = true;
+            progress = true;
+            break;
+        }
+        if avail.len() < 4 + len {
+            break;
+        }
+        let frame = dispatch_binary(conn, registry, options, consumed + 4, len);
+        conn.outbuf.extend_from_slice(&frame);
+        consumed += 4 + len;
+        progress = true;
+    }
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+    progress | conn_flush(conn)
+}
+
+/// Dispatch one complete binary frame against the registry, returning the
+/// encoded reply. Mirrors the live front's dispatch: every answer is
+/// immediate, and only unparseable frames close the connection.
+fn dispatch_binary(
+    conn: &mut Conn,
+    registry: &TenantRegistry,
+    options: &TenantServeOptions,
+    offset: usize,
+    len: usize,
+) -> Vec<u8> {
+    let payload = &conn.inbuf[offset..offset + len];
+    if len == 1 && payload[0] == OPCODE_STATS {
+        let text = registry.summary();
+        let mut frame = Vec::with_capacity(4 + 1 + text.len());
+        frame.extend_from_slice(&(1 + text.len() as u32).to_le_bytes());
+        frame.push(STATUS_OK);
+        frame.extend_from_slice(text.as_bytes());
+        return frame;
+    }
+    if len == 1 && payload[0] == OPCODE_HELLO {
+        return match &options.manifest {
+            Some(manifest) => {
+                let mut frame = Vec::with_capacity(4 + 1 + manifest.len());
+                frame.extend_from_slice(&(1 + manifest.len() as u32).to_le_bytes());
+                frame.push(STATUS_OK);
+                frame.extend_from_slice(manifest);
+                frame
+            }
+            None => {
+                let mut frame = Vec::with_capacity(5);
+                frame.extend_from_slice(&1u32.to_le_bytes());
+                frame.push(STATUS_BAD_REQUEST);
+                frame
+            }
+        };
+    }
+    if !payload.is_empty() && payload[0] == OPCODE_MUTATE {
+        return match parse_mutate(payload) {
+            None => {
+                conn.closing = true;
+                encode_response(STATUS_BAD_REQUEST, 0, &[])
+            }
+            Some((name, terms)) => {
+                let Some(tenant) = options.binary_tenant.as_deref() else {
+                    return encode_mutate_rejected("no tenant bound to the binary front");
+                };
+                match registry.insert_document(tenant, &name, &terms) {
+                    Ok(id) => {
+                        let epoch = registry.stats(tenant).map_or(0, |s| s.epoch);
+                        encode_mutate_ok(id, epoch)
+                    }
+                    // Every registry refusal — duplicate, quota, or the
+                    // tenant having been dropped mid-session — is a clean
+                    // in-protocol rejection; the stream stays intact.
+                    Err(e) => encode_mutate_rejected(&e.to_string()),
+                }
+            }
+        };
+    }
+    match parse_request(payload) {
+        None => {
+            conn.closing = true;
+            encode_response(STATUS_BAD_REQUEST, 0, &[])
+        }
+        Some((terms, opts)) => {
+            let answer = options
+                .binary_tenant
+                .as_deref()
+                .and_then(|tenant| registry.query(tenant, &terms, opts.mode).ok());
+            match answer {
+                // A well-formed query with no tenant bound (or dropped) is
+                // answered bad-request but keeps the connection open, like
+                // HELLO on a manifest-less server.
+                None => encode_response(STATUS_BAD_REQUEST, 0, &[]),
+                Some(docs) => encode_response(STATUS_OK, 0, &docs),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantQuotas;
+
+    fn registry() -> TenantRegistry {
+        TenantRegistry::new(
+            RamboParams::flat(8, 3, 1 << 10, 2, 7),
+            TenantQuotas::default(),
+        )
+        .unwrap()
+    }
+
+    fn run(reg: &TenantRegistry, line: &str) -> Vec<u8> {
+        let mut wire = line.as_bytes().to_vec();
+        wire.extend_from_slice(b"\r\n");
+        match parse_resp(&wire) {
+            RespParse::Command { args, consumed } => {
+                assert_eq!(consumed, wire.len());
+                execute(reg, &args)
+            }
+            _ => panic!("inline command must parse: {line}"),
+        }
+    }
+
+    #[test]
+    fn multibulk_roundtrip_and_fragmentation() {
+        let wire = b"*2\r\n$4\r\nPING\r\n$5\r\nhello\r\n";
+        // Every strict prefix is Incomplete, never an error.
+        for cut in 0..wire.len() {
+            match parse_resp(&wire[..cut]) {
+                RespParse::Incomplete => {}
+                RespParse::Command { .. } => panic!("prefix {cut} cannot be complete"),
+                RespParse::Protocol { message } => panic!("prefix {cut}: {message}"),
+            }
+        }
+        match parse_resp(wire) {
+            RespParse::Command { args, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(args, vec![b"PING".to_vec(), b"hello".to_vec()]);
+            }
+            _ => panic!("complete frame must parse"),
+        }
+    }
+
+    #[test]
+    fn inline_parsing_splits_on_whitespace() {
+        let wire = b"  R.CREATE  idx \t fpr=0.02 \r\nrest";
+        match parse_resp(wire) {
+            RespParse::Command { args, consumed } => {
+                assert_eq!(consumed, wire.len() - 4);
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[0], b"R.CREATE");
+                assert_eq!(args[2], b"fpr=0.02");
+            }
+            _ => panic!("inline must parse"),
+        }
+    }
+
+    #[test]
+    fn framing_violations_are_protocol_errors() {
+        for bad in [
+            &b"*abc\r\n"[..],
+            b"*2\r\nPING\r\n",
+            b"*1\r\n$abc\r\n",
+            b"*1\r\n$3\r\nabcX\r\n",
+            b"*9999999\r\n",
+        ] {
+            assert!(
+                matches!(parse_resp(bad), RespParse::Protocol { .. }),
+                "{bad:?} must be a protocol error"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_lf_line_terminator_is_rejected() {
+        assert!(matches!(
+            parse_resp(b"*1\n$4\nPING\n"),
+            RespParse::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn command_surface_happy_paths() {
+        let reg = registry();
+        assert_eq!(run(&reg, "PING"), b"+PONG\r\n");
+        assert_eq!(run(&reg, "R.CREATE idx fpr=0.02"), b"+OK\r\n");
+        assert_eq!(run(&reg, "R.INSERTDOC idx doc-a alpha beta 42"), b":0\r\n");
+        assert_eq!(run(&reg, "R.INSERTDOC idx doc-b beta gamma"), b":1\r\n");
+        assert_eq!(
+            run(&reg, "R.QUERYSEQ idx 1.0 beta"),
+            b"*2\r\n$5\r\ndoc-a\r\n$5\r\ndoc-b\r\n"
+        );
+        assert_eq!(
+            run(&reg, "R.QUERYSEQ idx 1.0 alpha 42"),
+            b"*1\r\n$5\r\ndoc-a\r\n"
+        );
+        assert_eq!(run(&reg, "R.LIST"), b"*1\r\n$3\r\nidx\r\n");
+        assert_eq!(run(&reg, "R.DROP idx"), b":1\r\n");
+        assert_eq!(run(&reg, "R.DROP idx"), b":0\r\n");
+    }
+
+    #[test]
+    fn error_taxonomy_is_stable() {
+        let reg = registry();
+        assert_eq!(run(&reg, "NOSUCH x"), b"-ERR unknown command 'NOSUCH'\r\n");
+        assert_eq!(
+            run(&reg, "R.CREATE"),
+            b"-ERR wrong number of arguments for 'r.create'\r\n"
+        );
+        assert_eq!(
+            run(&reg, "R.CREATE idx fpr=2"),
+            b"-ERR invalid FPR '2' (want 0 < fpr < 1)\r\n"
+        );
+        assert_eq!(run(&reg, "R.CREATE idx"), b"+OK\r\n");
+        assert_eq!(
+            run(&reg, "R.CREATE idx"),
+            b"-ERR tenant 'idx' already exists\r\n"
+        );
+        assert_eq!(
+            run(&reg, "R.INSERTDOC ghost d a b"),
+            b"-ERR no such tenant 'ghost'\r\n"
+        );
+        assert_eq!(
+            run(&reg, "R.QUERYSEQ idx 0 a"),
+            b"-ERR invalid theta '0' (want 0 < theta <= 1)\r\n"
+        );
+    }
+
+    #[test]
+    fn bf_surface_maps_onto_degenerate_tenants() {
+        let reg = registry();
+        assert_eq!(run(&reg, "BF.RESERVE filter 0.01 1000"), b"+OK\r\n");
+        assert_eq!(run(&reg, "BF.ADD filter apple"), b":1\r\n");
+        assert_eq!(run(&reg, "BF.ADD filter apple"), b":0\r\n");
+        assert_eq!(
+            run(&reg, "BF.MADD filter pear plum apple"),
+            b"*3\r\n:1\r\n:1\r\n:0\r\n"
+        );
+        assert_eq!(run(&reg, "BF.EXISTS filter pear"), b":1\r\n");
+        assert_eq!(run(&reg, "BF.EXISTS filter durian"), b":0\r\n");
+        assert_eq!(run(&reg, "BF.EXISTS missing pear"), b":0\r\n");
+        // Implicit create on first ADD.
+        assert_eq!(run(&reg, "BF.ADD fresh kiwi"), b":1\r\n");
+        assert_eq!(run(&reg, "BF.EXISTS fresh kiwi"), b":1\r\n");
+    }
+
+    #[test]
+    fn bf_capacity_maps_to_doc_quota() {
+        let reg = registry();
+        assert_eq!(run(&reg, "BF.RESERVE small 0.01 2"), b"+OK\r\n");
+        assert_eq!(run(&reg, "BF.ADD small a"), b":1\r\n");
+        assert_eq!(run(&reg, "BF.ADD small b"), b":1\r\n");
+        let reply = run(&reg, "BF.ADD small c");
+        let text = String::from_utf8(reply).unwrap();
+        assert!(
+            text.starts_with("-ERR quota exceeded"),
+            "full filter must reject in-protocol: {text}"
+        );
+    }
+
+    #[test]
+    fn queryseq_theta_counts_fractions() {
+        let reg = registry();
+        assert_eq!(run(&reg, "R.CREATE idx"), b"+OK\r\n");
+        assert_eq!(run(&reg, "R.INSERTDOC idx d0 a b c d"), b":0\r\n");
+        assert_eq!(run(&reg, "R.INSERTDOC idx d1 a b x y"), b":1\r\n");
+        // All four terms: only d0.
+        assert_eq!(
+            run(&reg, "R.QUERYSEQ idx 1.0 a b c d"),
+            b"*1\r\n$2\r\nd0\r\n"
+        );
+        // Half the terms: both.
+        assert_eq!(
+            run(&reg, "R.QUERYSEQ idx 0.5 a b c d"),
+            b"*2\r\n$2\r\nd0\r\n$2\r\nd1\r\n"
+        );
+    }
+}

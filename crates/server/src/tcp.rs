@@ -131,6 +131,81 @@ impl Conn {
     }
 }
 
+/// Shared read phase of every reactor pump (catalog, live and tenant
+/// fronts): pull what the socket has into `inbuf`, bounded by the pipeline
+/// cap and the frame-size ceiling (backpressure by unread socket). Marks
+/// the connection dead on hard I/O errors. Returns whether bytes moved.
+pub(crate) fn conn_read(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while !conn.read_closed
+        && !conn.closing
+        && !conn.dead
+        && conn.pending.len() < MAX_PIPELINED
+        && conn.inbuf.len() < MAX_FRAME_BYTES + 4
+    {
+        let start = conn.inbuf.len();
+        conn.inbuf.resize(start + READ_CHUNK, 0);
+        match conn.stream.read(&mut conn.inbuf[start..]) {
+            Ok(0) => {
+                conn.inbuf.truncate(start);
+                conn.read_closed = true;
+            }
+            Ok(n) => {
+                conn.inbuf.truncate(start + n);
+                progress = true;
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.inbuf.truncate(start),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                conn.inbuf.truncate(start);
+                continue;
+            }
+            Err(_) => {
+                conn.inbuf.truncate(start);
+                conn.dead = true;
+                return progress;
+            }
+        }
+        break;
+    }
+    progress
+}
+
+/// Shared write/teardown phase of every reactor pump: push `outbuf` until
+/// the socket stops taking bytes, then retire the connection once
+/// everything owed is flushed after a protocol error (`closing`) or a
+/// half-closed peer. Returns whether bytes moved.
+pub(crate) fn conn_flush(conn: &mut Conn) -> bool {
+    let mut progress = false;
+    while conn.sent < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.sent..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return progress;
+            }
+            Ok(n) => {
+                conn.sent += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return progress;
+            }
+        }
+    }
+    if conn.sent == conn.outbuf.len() && conn.sent > 0 {
+        conn.outbuf.clear();
+        conn.sent = 0;
+    }
+    let flushed = conn.pending.is_empty() && conn.sent == conn.outbuf.len();
+    if flushed && (conn.closing || conn.read_closed) {
+        conn.dead = true;
+    }
+    progress
+}
+
 /// Optional behaviors of the TCP front ([`serve_tcp_with`]).
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
@@ -213,41 +288,12 @@ pub fn serve_tcp_with(
 /// dispatch complete frames, poll owed replies in order, write what is
 /// flushed. Returns true when any byte or frame moved.
 fn pump(conn: &mut Conn, handle: &ServerHandle<'_>, options: &ServeOptions) -> bool {
-    let mut progress = false;
-
     // Read until the socket runs dry — but stop decoding ahead of a client
     // that has MAX_PIPELINED answers outstanding (backpressure by unread
     // socket, mirroring the admission queue's own bound).
-    while !conn.read_closed
-        && !conn.closing
-        && !conn.dead
-        && conn.pending.len() < MAX_PIPELINED
-        && conn.inbuf.len() < MAX_FRAME_BYTES + 4
-    {
-        let start = conn.inbuf.len();
-        conn.inbuf.resize(start + READ_CHUNK, 0);
-        match conn.stream.read(&mut conn.inbuf[start..]) {
-            Ok(0) => {
-                conn.inbuf.truncate(start);
-                conn.read_closed = true;
-            }
-            Ok(n) => {
-                conn.inbuf.truncate(start + n);
-                progress = true;
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.inbuf.truncate(start),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-                conn.inbuf.truncate(start);
-                continue;
-            }
-            Err(_) => {
-                conn.inbuf.truncate(start);
-                conn.dead = true;
-                return progress;
-            }
-        }
-        break;
+    let mut progress = conn_read(conn);
+    if conn.dead {
+        return progress;
     }
 
     // Decode complete frames and dispatch them.
@@ -304,37 +350,9 @@ fn pump(conn: &mut Conn, handle: &ServerHandle<'_>, options: &ServeOptions) -> b
         progress = true;
     }
 
-    // Write what the socket will take.
-    while conn.sent < conn.outbuf.len() {
-        match conn.stream.write(&conn.outbuf[conn.sent..]) {
-            Ok(0) => {
-                conn.dead = true;
-                return progress;
-            }
-            Ok(n) => {
-                conn.sent += n;
-                progress = true;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                conn.dead = true;
-                return progress;
-            }
-        }
-    }
-    if conn.sent == conn.outbuf.len() && conn.sent > 0 {
-        conn.outbuf.clear();
-        conn.sent = 0;
-    }
-
-    // Close once everything owed is flushed: after a protocol error
-    // (`closing`) or once a half-closed peer has received its last reply.
-    let flushed = conn.pending.is_empty() && conn.sent == conn.outbuf.len();
-    if flushed && (conn.closing || conn.read_closed) {
-        conn.dead = true;
-    }
-    progress
+    // Write what the socket will take, then close once everything owed is
+    // flushed after a protocol error or a half-closed peer.
+    progress | conn_flush(conn)
 }
 
 /// Dispatch one complete frame (`len` bytes at `offset` in the inbuf).

@@ -8,6 +8,7 @@ use rambo_core::{GenerationConfig, QueryContext, QueryMode, Rambo, RamboParams, 
 use rambo_server::{
     serve_live_tcp, Catalog, LiveServer, ServeOptions, ServerConfig, TcpClient, TcpClientError,
 };
+use rambo_workloads::TestClient;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -189,7 +190,6 @@ fn live_tcp_mutate_roundtrip() {
 
 #[test]
 fn malformed_mutate_frame_closes_the_connection() {
-    use std::io::{Read, Write};
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let stop = AtomicBool::new(false);
@@ -197,15 +197,13 @@ fn malformed_mutate_frame_closes_the_connection() {
         std::thread::scope(|s| {
             let server =
                 s.spawn(|| serve_live_tcp(handle, listener, &stop, &ServeOptions::default()));
-            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            let mut raw = TestClient::connect(addr).unwrap();
             // Opcode 4 with a lying name length.
             let mut frame = vec![4u8, 0, 0, 0];
             frame.extend_from_slice(&999u32.to_le_bytes());
-            let mut wire = (frame.len() as u32).to_le_bytes().to_vec();
-            wire.extend_from_slice(&frame);
-            raw.write_all(&wire).unwrap();
-            let mut reply = Vec::new();
-            raw.read_to_end(&mut reply).unwrap(); // server closes after BAD_REQUEST
+            raw.send_framed(&frame).unwrap();
+            // The server answers BAD_REQUEST, then closes.
+            let reply = raw.read_until_close().unwrap();
             assert!(reply.len() >= 5);
             assert_eq!(reply[4], 3, "status must be BAD_REQUEST");
             stop.store(true, Ordering::Relaxed);

@@ -7,6 +7,7 @@ use rambo_server::{
     serve_tcp, Catalog, QueryOptions, SchedulerMode, Server, ServerConfig, ServerError, TcpClient,
     TcpClientError,
 };
+use rambo_workloads::TestClient;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -301,7 +302,6 @@ fn tcp_round_trip_matches_direct_evaluation() {
 
 #[test]
 fn tcp_rejects_malformed_frames_without_dying() {
-    use std::io::{Read, Write};
     let index = build_index(16, 10, 8);
     let catalog = Catalog::build_halving(&index, 0).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -312,11 +312,9 @@ fn tcp_rejects_malformed_frames_without_dying() {
         std::thread::scope(|s| {
             let server = s.spawn(|| serve_tcp(handle, listener, &stop));
             // Garbage opcode → status 3, connection closed by the server.
-            let mut raw = std::net::TcpStream::connect(addr).unwrap();
-            raw.write_all(&5u32.to_le_bytes()).unwrap();
-            raw.write_all(&[9, 9, 9, 9, 9]).unwrap();
-            let mut buf = Vec::new();
-            raw.read_to_end(&mut buf).unwrap();
+            let mut raw = TestClient::connect(addr).unwrap();
+            raw.send_framed(&[9, 9, 9, 9, 9]).unwrap();
+            let buf = raw.read_until_close().unwrap();
             assert!(buf.len() >= 5 && buf[4] == 3, "expected bad-request status");
             drop(raw);
             // The server still answers a well-formed client afterwards.
@@ -568,7 +566,6 @@ fn tcp_stats_frame_dumps_counters() {
 
 #[test]
 fn stalled_mid_frame_client_does_not_block_shutdown() {
-    use std::io::Write;
     let index = build_index(16, 10, 14);
     let catalog = Catalog::build_halving(&index, 0).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -578,10 +575,9 @@ fn stalled_mid_frame_client_does_not_block_shutdown() {
         std::thread::scope(|s| {
             let server = s.spawn(|| serve_tcp(handle, listener, &stop));
             // A client that promises 100 bytes, sends 10, and stalls.
-            let mut stalled = std::net::TcpStream::connect(addr).unwrap();
-            stalled.write_all(&100u32.to_le_bytes()).unwrap();
-            stalled.write_all(&[0u8; 10]).unwrap();
-            stalled.flush().unwrap();
+            let mut stalled = TestClient::connect(addr).unwrap();
+            stalled.send(&100u32.to_le_bytes()).unwrap();
+            stalled.send(&[0u8; 10]).unwrap();
             // The reactor still serves others around the stalled peer.
             let mut client = TcpClient::connect(addr).unwrap();
             let reply = client

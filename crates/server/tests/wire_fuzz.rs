@@ -1,0 +1,412 @@
+//! Wire-level fuzz battery for the serving fronts.
+//!
+//! The reactor in `serve_tenant_tcp` multiplexes two protocols (RESP text
+//! and length-prefixed binary frames) over one poll loop; this suite
+//! attacks both with what real networks and hostile clients produce:
+//! garbage bytes, truncated streams, frames fragmented across poll ticks,
+//! lying length prefixes, and concurrent connections mixing the two
+//! protocols. The invariants are uniform:
+//!
+//! * the server never panics or wedges — after every fuzz connection a
+//!   fresh well-formed connection gets a correct answer (liveness probe);
+//! * replies come back in request order, byte-exact, no matter how the
+//!   requests were fragmented on the wire;
+//! * a malformed stream is answered in-protocol where the protocol allows
+//!   (`-ERR ...`, `BAD_REQUEST`) and then the connection closes cleanly.
+
+use proptest::prelude::*;
+use rambo_server::{
+    serve_tenant_tcp, TcpClient, TenantOptions, TenantQuotas, TenantRegistry, TenantServeOptions,
+};
+use rambo_workloads::TestClient;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn params() -> rambo_core::RamboParams {
+    rambo_core::RamboParams::flat(8, 3, 1 << 10, 2, 7)
+}
+
+fn registry() -> TenantRegistry {
+    TenantRegistry::new(params(), TenantQuotas::default()).unwrap()
+}
+
+/// Serve `registry` on both fronts for the closure's duration, binding the
+/// binary front to tenant `bin`.
+fn with_dual_server(registry: &TenantRegistry, f: impl FnOnce(SocketAddr, SocketAddr)) {
+    let resp_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let binary_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let resp_addr = resp_listener.local_addr().unwrap();
+    let bin_addr = binary_listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    let options = TenantServeOptions {
+        manifest: Some(b"fuzz-node".to_vec()),
+        binary_tenant: Some("bin".to_string()),
+    };
+    std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            serve_tenant_tcp(
+                registry,
+                resp_listener,
+                Some(binary_listener),
+                &stop,
+                &options,
+            )
+        });
+        // Stop the reactor even when the closure's assertions panic —
+        // otherwise the scope would block forever joining the server thread
+        // and the real failure would read as a hang.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(resp_addr, bin_addr);
+        }));
+        stop.store(true, Ordering::Relaxed);
+        let served = server.join().unwrap();
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+        served.unwrap();
+    });
+}
+
+/// The liveness probe: a fresh RESP connection must still get `+PONG`.
+fn assert_resp_alive(addr: SocketAddr) {
+    let mut probe = TestClient::connect(addr).unwrap();
+    probe.send_resp(&[b"PING"]).unwrap();
+    assert_eq!(probe.read_resp_reply().unwrap(), b"+PONG\r\n");
+}
+
+/// The binary liveness probe: a fresh connection's STATS frame answers with
+/// the registry summary.
+fn assert_binary_alive(addr: SocketAddr) {
+    let mut probe = TestClient::connect(addr).unwrap();
+    probe.send_framed(&[2]).unwrap(); // OPCODE_STATS
+    let payload = probe.read_frame(16 << 20).unwrap();
+    // Frame payload: status byte (OK = 0) followed by the summary text.
+    assert!(
+        payload.first() == Some(&0) && payload[1..].starts_with(b"tenants:"),
+        "stats probe got {payload:?}"
+    );
+}
+
+/// Parse the bulk strings out of a RESP array reply.
+fn resp_array_docs(reply: &[u8]) -> Vec<String> {
+    let text = std::str::from_utf8(reply).expect("ascii reply");
+    let mut lines = text.split("\r\n");
+    let header = lines.next().expect("array header");
+    assert!(header.starts_with('*'), "not an array: {text:?}");
+    let n: usize = header[1..].parse().expect("array count");
+    let mut docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len_line = lines.next().expect("bulk header");
+        assert!(len_line.starts_with('$'), "not a bulk: {text:?}");
+        docs.push(lines.next().expect("bulk body").to_string());
+    }
+    docs
+}
+
+/// Deterministic byte soup derived from `r`.
+fn garbage(r: u64, len: usize) -> Vec<u8> {
+    let mut state = r | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+const VALID_LINES: &[&str] = &[
+    "PING",
+    "R.LIST",
+    "R.STATS",
+    "R.CREATE fz fpr=0.02",
+    "R.INSERTDOC fz d0 alpha beta",
+    "R.QUERYSEQ fz 1.0 alpha",
+    "R.DROP fz",
+    "BF.ADD bloomy pear",
+    "BF.EXISTS bloomy pear",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuzzed RESP streams: valid commands, multibulk framings, garbage,
+    /// truncations and lying bulk lengths, dribbled onto the socket in
+    /// fuzz-sized chunks. The server may answer or close, but it must do so
+    /// cleanly and keep serving other connections.
+    #[test]
+    fn fuzzed_resp_streams_never_wedge_the_server(
+        ops in proptest::collection::vec((0u8..6, any::<u64>()), 1..7),
+        chunk in 1usize..48,
+    ) {
+        let reg = registry();
+        with_dual_server(&reg, |resp_addr, _| {
+            let mut client = TestClient::connect(resp_addr).unwrap();
+            client.set_split(chunk, Duration::from_micros(300));
+            let mut wire = Vec::new();
+            for &(op, r) in &ops {
+                let line = VALID_LINES[(r % VALID_LINES.len() as u64) as usize];
+                match op {
+                    0 => wire.extend_from_slice(format!("{line}\r\n").as_bytes()),
+                    1 => {
+                        // Multibulk framing of the same command.
+                        let args: Vec<&str> = line.split(' ').collect();
+                        wire.extend_from_slice(format!("*{}\r\n", args.len()).as_bytes());
+                        for a in &args {
+                            wire.extend_from_slice(
+                                format!("${}\r\n{a}\r\n", a.len()).as_bytes(),
+                            );
+                        }
+                    }
+                    2 => wire.extend_from_slice(&garbage(r, (r % 40) as usize + 1)),
+                    3 => {
+                        // Truncated prefix of a valid command: starves the
+                        // parser mid-token.
+                        let full = format!("{line}\r\n");
+                        let cut = 1 + (r as usize % (full.len() - 1));
+                        wire.extend_from_slice(&full.as_bytes()[..cut]);
+                    }
+                    4 => {
+                        // Lying bulk length: header promises more than the
+                        // 1 MiB bulk cap allows.
+                        wire.extend_from_slice(b"*1\r\n$99999999\r\n");
+                    }
+                    _ => {
+                        // Bare CRLFs and empty arrays are no-ops, not errors.
+                        wire.extend_from_slice(b"\r\n*0\r\n");
+                    }
+                }
+            }
+            // The server may close the stream mid-send after a protocol
+            // error — a broken pipe here is the server doing its job.
+            let _ = client.send(&wire);
+            client.clear_split();
+            let _ = client.shutdown_write();
+            // Whatever the stream provoked, the server must end the
+            // connection rather than wedge it.
+            if let Ok(replies) = client.read_until_close() {
+                // Any reply bytes must at least be RESP-typed.
+                if let Some(&first) = replies.first() {
+                    prop_assert!(
+                        matches!(first, b'+' | b'-' | b':' | b'$' | b'*'),
+                        "non-RESP reply bytes: {replies:?}"
+                    );
+                }
+            }
+            assert_resp_alive(resp_addr);
+        });
+    }
+
+    /// Fuzzed binary frames: random payloads, random opcodes, truncated
+    /// frames, and lying length prefixes (oversized and worst-case
+    /// `u32::MAX`). The frame protocol has no in-band error channel for
+    /// unparseable framing, so the server's contract is: answer
+    /// `BAD_REQUEST` where a frame parses as a bad request, close otherwise,
+    /// and never take the reactor down with it.
+    #[test]
+    fn fuzzed_binary_frames_never_wedge_the_server(
+        ops in proptest::collection::vec((0u8..4, any::<u64>()), 1..5),
+        chunk in 1usize..32,
+    ) {
+        let reg = registry();
+        reg.create("bin", TenantOptions::default()).unwrap();
+        with_dual_server(&reg, |resp_addr, bin_addr| {
+            let mut client = TestClient::connect(bin_addr).unwrap();
+            client.set_split(chunk, Duration::from_micros(300));
+            let mut wire = Vec::new();
+            for &(op, r) in &ops {
+                match op {
+                    0 => {
+                        // Well-formed frame, fuzzed payload (random opcode).
+                        let payload = garbage(r, (r % 24) as usize + 1);
+                        wire.extend_from_slice(
+                            &u32::try_from(payload.len()).unwrap().to_le_bytes(),
+                        );
+                        wire.extend_from_slice(&payload);
+                    }
+                    1 => {
+                        // Oversized length prefix: above MAX_FRAME_BYTES.
+                        let lie = (17 << 20) + (r as u32 % 1000);
+                        wire.extend_from_slice(&lie.to_le_bytes());
+                    }
+                    2 => wire.extend_from_slice(&u32::MAX.to_le_bytes()),
+                    _ => {
+                        // Truncated frame: honest prefix, missing bytes.
+                        wire.extend_from_slice(&64u32.to_le_bytes());
+                        wire.extend_from_slice(&garbage(r, (r % 8) as usize));
+                    }
+                }
+            }
+            let _ = client.send(&wire);
+            client.clear_split();
+            let _ = client.shutdown_write();
+            let _ = client.read_until_close();
+            assert_binary_alive(bin_addr);
+            assert_resp_alive(resp_addr);
+        });
+    }
+}
+
+#[test]
+fn pipelined_replies_stay_in_order_under_fragmentation() {
+    let reg = registry();
+    with_dual_server(&reg, |resp_addr, _| {
+        let mut client = TestClient::connect(resp_addr).unwrap();
+        client.send_resp_inline("R.CREATE pipe fpr=0.02").unwrap();
+        assert_eq!(client.read_resp_reply().unwrap(), b"+OK\r\n");
+        // 40 pipelined inserts in one burst, dribbled 3 bytes per poll tick.
+        let mut wire = Vec::new();
+        for i in 0..40 {
+            wire.extend_from_slice(format!("R.INSERTDOC pipe doc-{i} w{i} shared\r\n").as_bytes());
+        }
+        client.set_split(3, Duration::from_micros(200));
+        client.send(&wire).unwrap();
+        client.clear_split();
+        // Replies must be the dense ids, strictly in request order.
+        for i in 0..40 {
+            assert_eq!(
+                client.read_resp_reply().unwrap(),
+                format!(":{i}\r\n").into_bytes(),
+                "reply {i} out of order"
+            );
+        }
+        // Queries across the same fragmented connection still line up.
+        let mut wire = Vec::new();
+        for i in (0..40).rev() {
+            wire.extend_from_slice(format!("R.QUERYSEQ pipe 1.0 w{i}\r\n").as_bytes());
+        }
+        client.set_split(5, Duration::from_micros(200));
+        client.send(&wire).unwrap();
+        client.clear_split();
+        // Replies must come back in request order. Bloom false positives may
+        // add extra docs to an answer, but the planted doc must be present —
+        // and because every insert/query pair is deterministic, the order of
+        // the replies is the real invariant here.
+        for i in (0..40).rev() {
+            let docs = resp_array_docs(&client.read_resp_reply().unwrap());
+            assert!(
+                docs.contains(&format!("doc-{i}")),
+                "query reply for w{i} missing its doc: {docs:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn interleaved_resp_and_binary_connections_serve_concurrently() {
+    // The acceptance scenario: one process, one reactor, ≥3 named RAMBO
+    // indexes served over RESP while the binary front mutates and queries a
+    // fourth — concurrently, with per-tenant answers staying isolated.
+    let reg = registry();
+    reg.create("bin", TenantOptions::default()).unwrap();
+    with_dual_server(&reg, |resp_addr, bin_addr| {
+        std::thread::scope(|s| {
+            // Three RESP tenants, one client thread each.
+            for t in 0..3 {
+                s.spawn(move || {
+                    let name = format!("tenant-{t}");
+                    let mut c = TestClient::connect(resp_addr).unwrap();
+                    c.send_resp_inline(&format!("R.CREATE {name} fpr=0.02"))
+                        .unwrap();
+                    assert_eq!(c.read_resp_reply().unwrap(), b"+OK\r\n");
+                    for d in 0..20 {
+                        c.send_resp_inline(&format!(
+                            "R.INSERTDOC {name} d{t}-{d} w{t}x{d} shared{t}"
+                        ))
+                        .unwrap();
+                        assert_eq!(
+                            c.read_resp_reply().unwrap(),
+                            format!(":{d}\r\n").into_bytes()
+                        );
+                    }
+                    // Per-doc probe: the planted doc answers, and — the
+                    // isolation property — every answered name belongs to
+                    // THIS tenant (false positives stay inside the tenant).
+                    for d in 0..20 {
+                        c.send_resp_inline(&format!("R.QUERYSEQ {name} 1.0 w{t}x{d}"))
+                            .unwrap();
+                        let docs = resp_array_docs(&c.read_resp_reply().unwrap());
+                        assert!(docs.contains(&format!("d{t}-{d}")), "tenant {t}: {docs:?}");
+                        assert!(
+                            docs.iter().all(|n| n.starts_with(&format!("d{t}-"))),
+                            "cross-tenant leak in {name}: {docs:?}"
+                        );
+                    }
+                    // The shared term hits all 20 of this tenant's docs and
+                    // nobody else's.
+                    c.send_resp_inline(&format!("R.QUERYSEQ {name} 1.0 shared{t}"))
+                        .unwrap();
+                    let docs = resp_array_docs(&c.read_resp_reply().unwrap());
+                    assert!(docs.len() >= 20, "tenant {t}: {docs:?}");
+                    assert!(docs.iter().all(|n| n.starts_with(&format!("d{t}-"))));
+                });
+            }
+            // Two binary clients hammering the bound tenant.
+            for r in 0..2u64 {
+                s.spawn(move || {
+                    let mut c = TcpClient::connect(bin_addr).unwrap();
+                    for d in 0..10u64 {
+                        let doc = format!("bin-{r}-{d}");
+                        let term = (r << 32) | (d << 8) | 1;
+                        let (id, _epoch) = c.insert_document(&doc, &[term, 0xB1B1]).unwrap();
+                        let reply = c.query(&[term], 1.0, Duration::from_secs(5)).unwrap();
+                        assert!(
+                            reply.docs.contains(&id),
+                            "binary client {r} doc {d}: {:?}",
+                            reply.docs
+                        );
+                    }
+                });
+            }
+        });
+        // Post-hoc: the registry really holds 4 tenants with the expected
+        // document counts, and the shared binary tenant saw both writers.
+        let list = reg.list();
+        assert_eq!(list.len(), 4);
+        for st in &list {
+            assert_eq!(st.documents, 20, "tenant {}", st.name);
+        }
+    });
+}
+
+#[test]
+fn resp_front_closes_cleanly_on_oversized_inline_lines() {
+    let reg = registry();
+    with_dual_server(&reg, |resp_addr, _| {
+        let mut client = TestClient::connect(resp_addr).unwrap();
+        // An inline line that can never terminate within the 64 KiB cap.
+        client.send(&vec![b'A'; 80 << 10]).unwrap();
+        let reply = client.read_until_close().unwrap();
+        assert!(
+            reply.starts_with(b"-ERR Protocol error"),
+            "oversized inline line must be answered in-protocol: {reply:?}"
+        );
+        assert_resp_alive(resp_addr);
+    });
+}
+
+#[test]
+fn half_open_clients_do_not_block_shutdown() {
+    // A client that sends half a multibulk and stalls forever must not
+    // prevent the reactor from honoring the stop flag.
+    let reg = registry();
+    let resp_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = resp_listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            serve_tenant_tcp(
+                &reg,
+                resp_listener,
+                None,
+                &stop,
+                &TenantServeOptions::default(),
+            )
+        });
+        let mut staller = TestClient::connect(addr).unwrap();
+        staller.send(b"*3\r\n$4\r\nPING\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+    });
+}

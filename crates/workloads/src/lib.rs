@@ -14,12 +14,16 @@
 //!   ingestion pipeline.
 //! * [`report`] — fixed-width table printing so each harness binary emits
 //!   rows shaped like the paper's tables.
+//! * [`netclient`] — a raw-bytes TCP test client (timeouts, frame-split
+//!   injection, binary and RESP framings) shared by the serving crates'
+//!   protocol test suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;
 pub mod fpr;
+pub mod netclient;
 pub mod report;
 pub mod stats;
 pub mod telemetry;
@@ -27,6 +31,7 @@ pub mod timing;
 
 pub use archive::{ArchiveParams, SyntheticArchive};
 pub use fpr::{FprMeasurement, PlantedQueries};
+pub use netclient::TestClient;
 pub use report::Table;
 pub use telemetry::{CacheSnapshot, CacheTelemetry, QueueTelemetry};
 pub use timing::{time, Stopwatch};

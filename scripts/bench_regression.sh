@@ -70,6 +70,12 @@ BENCH_storage.json|hot_over_cold_query_speedup
 # concurrent seals and merges); merge_read_p99_headroom >= 1.0 holds the
 # concurrent-read p99 under the mutable bench's latency ceiling while
 # background merges run.
+#
+# Tenant floors are likewise 0-or-1 correctness gates: every named index
+# served over the RESP front must answer bit-identically to an isolated
+# single-index oracle (multi-tenancy unobservable from inside a tenant),
+# and document-quota admission must reject exactly the inserts beyond the
+# cap, in-protocol, with the registry's rejection counter agreeing.
 ABS_CHECKS="
 BENCH_serve.json|batched_p99_speedup_vs_one_at_a_time|1.0
 BENCH_serve.json|batched_p99_speedup_vs_always_batch|1.0
@@ -81,13 +87,15 @@ BENCH_cluster.json|replica_kill_success|1.0
 BENCH_cluster.json|degraded_availability|1.0
 BENCH_mutable.json|generations_parity_ok|1.0
 BENCH_mutable.json|merge_read_p99_headroom|1.0
+BENCH_tenant.json|tenant_isolation_parity_ok|1.0
+BENCH_tenant.json|quota_enforcement_ok|1.0
 "
 
 # Canonical runs: default flags except a fixed seed — these sizes are what
 # the committed baselines were recorded with. Keep flags here and baseline
 # regeneration (--update) in lockstep.
 run_benches() {
-    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold cluster_serve mutable_load; do
+    for bin in ingest_throughput batch_query probe_kernel serve_load storage_cold cluster_serve mutable_load tenant_serve; do
         echo "+ cargo run --release -p rambo-bench --bin $bin" >&2
         cargo run --release -p rambo-bench --bin "$bin" >/dev/null
     done
@@ -103,7 +111,7 @@ run_benches
 
 if [ "${1:-}" = "--update" ]; then
     mkdir -p "$BASELINE_DIR"
-    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json BENCH_cluster.json BENCH_mutable.json; do
+    for f in BENCH_ingest.json BENCH_batch_query.json BENCH_probe.json BENCH_serve.json BENCH_storage.json BENCH_cluster.json BENCH_mutable.json BENCH_tenant.json; do
         cp "$f" "$BASELINE_DIR/$f"
         echo "blessed $BASELINE_DIR/$f"
     done
@@ -120,6 +128,7 @@ bin_of() {
         BENCH_storage.json) echo storage_cold ;;
         BENCH_cluster.json) echo cluster_serve ;;
         BENCH_mutable.json) echo mutable_load ;;
+        BENCH_tenant.json) echo tenant_serve ;;
     esac
 }
 

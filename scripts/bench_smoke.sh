@@ -53,3 +53,9 @@ run cargo run --release -p rambo-bench --bin storage_cold -- \
 # to a from-scratch monolithic rebuild.
 run cargo run --release -p rambo-bench --bin mutable_load -- \
     --docs 60 --mean-terms 200 --queries 300 --readers 2 --memtable-cap 8
+# tenant-smoke: one process serving several named RAMBO indexes over the
+# RESP text protocol, loaded and queried concurrently over real sockets,
+# with per-tenant answers asserted bit-identical to isolated single-index
+# oracles and document-quota admission rejections verified in-protocol.
+run cargo run --release -p rambo-bench --bin tenant_serve -- \
+    --tenants 3 --docs 40 --mean-terms 60 --queries 120
